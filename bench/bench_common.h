@@ -1,0 +1,106 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --quick     smaller datasets / fewer epochs (CI-sized)
+//   --seed N    master seed (default 42)
+// and prints the paper table it reproduces alongside the measured values.
+#ifndef DAR_BENCH_BENCH_COMMON_H_
+#define DAR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/train_config.h"
+#include "datasets/beer.h"
+#include "datasets/hotel.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace dar {
+namespace bench {
+
+/// Command-line options shared by all benches.
+struct BenchOptions {
+  bool quick = false;
+  uint64_t seed = 42;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        options.quick = true;
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        options.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--quick] [--seed N]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    // The environment knob lets `for b in build/bench/*; do $b; done` run
+    // the quick profile without editing the loop.
+    if (const char* env = std::getenv("DAR_BENCH_QUICK");
+        env != nullptr && env[0] != '0') {
+      options.quick = true;
+    }
+    return options;
+  }
+
+  datasets::SplitSizes sizes() const {
+    if (quick) return {.train = 400, .dev = 100, .test = 120};
+    return {.train = 800, .dev = 160, .test = 250};
+  }
+
+  core::TrainConfig config() const {
+    core::TrainConfig config;
+    config.seed = seed;
+    config.epochs = quick ? 8 : 9;
+    config.pretrain_epochs = quick ? 4 : 5;
+    if (quick) {
+      // Keep the optimizer step count up on the smaller dataset.
+      config.batch_size = 32;
+      config.lr = 2e-3f;
+    }
+    return config;
+  }
+};
+
+/// Prints the standard bench banner.
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const BenchOptions& options) {
+  std::printf("=== %s ===\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("profile=%s seed=%llu\n\n", options.quick ? "quick" : "standard",
+              static_cast<unsigned long long>(options.seed));
+  std::fflush(stdout);
+}
+
+/// Adds the standard S/Acc/P/R/F1 row for a method result.
+inline void AddResultRow(eval::TablePrinter& table, const std::string& label,
+                         const eval::MethodResult& result,
+                         bool accuracy_applicable = true) {
+  table.AddRow({label, eval::FormatPercent(result.rationale.sparsity),
+                accuracy_applicable ? eval::FormatPercent(result.rationale_acc)
+                                    : std::string("N/A"),
+                eval::FormatPercent(result.rationale.precision),
+                eval::FormatPercent(result.rationale.recall),
+                eval::FormatPercent(result.rationale.f1)});
+}
+
+/// Trains `method` on `dataset` with the sparsity target matched to the
+/// gold annotation level (the paper's protocol) and returns the result.
+inline eval::MethodResult RunMethod(const std::string& method,
+                                    const datasets::SyntheticDataset& dataset,
+                                    const core::TrainConfig& base_config,
+                                    bool verbose = false) {
+  core::TrainConfig config =
+      base_config.WithSparsityTarget(dataset.AnnotationSparsity());
+  auto model = eval::MakeMethod(method, dataset, config);
+  return eval::TrainAndEvaluate(*model, dataset, verbose);
+}
+
+}  // namespace bench
+}  // namespace dar
+
+#endif  // DAR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Fig. 3b + Table I — Rationale shift in vanilla RNP on HotelReview.
+//
+// Fig. 3b: RNP's predictor classifies the *selected rationale* well but can
+// fail on the *full text* for Service/Cleanliness — evidence that the
+// rationale semantics deviated from the input. Table I details the
+// full-text predictions: on the degenerate aspects the predictor collapses
+// onto one class (precision "nan" or recall ~0).
+#include "bench/bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* aspect;
+  float s, p, r, f1;  // paper Table I (full-text prediction PRF of RNP)
+  bool nan_precision;
+};
+constexpr PaperRow kPaperTable1[3] = {
+    {"Location", 9.0f, 92.0f, 66.4f, 77.1f, false},
+    {"Service", 11.6f, 100.0f, 1.0f, 2.0f, false},
+    {"Cleanliness", 10.8f, 0.0f, 0.0f, 0.0f, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("Fig. 3b + Table I: rationale shift in RNP",
+                     "paper Fig. 3b (rationale vs full-text accuracy) and "
+                     "Table I (full-text P/R/F1)",
+                     options);
+  core::TrainConfig base = options.config();
+
+  eval::TablePrinter fig3b({"Aspect", "Acc(rationale)", "Acc(full text)",
+                            "Gap"});
+  eval::TablePrinter table1({"Aspect", "S", "P", "R", "F1", "Paper P/R/F1"});
+  for (int aspect = 0; aspect < 3; ++aspect) {
+    datasets::SyntheticDataset dataset = datasets::MakeHotelDataset(
+        static_cast<datasets::HotelAspect>(aspect), options.sizes(),
+        options.seed);
+    eval::MethodResult result = bench::RunMethod("RNP", dataset, base);
+    std::string name = datasets::HotelAspectName(
+        static_cast<datasets::HotelAspect>(aspect));
+    fig3b.AddRow({name, eval::FormatPercent(result.rationale_acc),
+                  eval::FormatPercent(result.full_text_acc),
+                  eval::FormatPercent(result.rationale_acc -
+                                      result.full_text_acc)});
+    char paper[48];
+    std::snprintf(paper, sizeof(paper), "%s/%.1f/%s",
+                  kPaperTable1[aspect].nan_precision
+                      ? "nan"
+                      : eval::FormatFloat(kPaperTable1[aspect].p).c_str(),
+                  kPaperTable1[aspect].r,
+                  kPaperTable1[aspect].nan_precision
+                      ? "nan"
+                      : eval::FormatFloat(kPaperTable1[aspect].f1).c_str());
+    table1.AddRow(
+        {name, eval::FormatPercent(result.rationale.sparsity),
+         result.full_text_prf.defined
+             ? eval::FormatPercent(result.full_text_prf.precision)
+             : std::string("nan"),
+         eval::FormatPercent(result.full_text_prf.recall),
+         result.full_text_prf.defined
+             ? eval::FormatPercent(result.full_text_prf.f1)
+             : std::string("nan"),
+         paper});
+  }
+  std::printf("-- Fig. 3b: RNP accuracy, rationale input vs full text --\n");
+  fig3b.Print();
+  std::printf(
+      "\n-- Table I: RNP full-text positive-class P/R/F1 per aspect --\n");
+  table1.Print();
+  std::printf(
+      "\nShape to check: on at least one aspect the two accuracies diverge\n"
+      "sharply — rationale and input semantics are misaligned. The paper's\n"
+      "RNP collapses predictor-side (rationale acc high, full-text acc low,\n"
+      "one-class full-text P/R); on the synthetic corpus the same game also\n"
+      "collapses generator-side (near-empty rationales: S << alpha with\n"
+      "rationale accuracy near chance while the full-text probe stays\n"
+      "high). Either way the vanilla game has drifted from the input —\n"
+      "the failure DAR is built to prevent (contrast with Fig. 6).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks of the substrate (google-benchmark): tensor kernels,
+// autograd overhead, GRU/Transformer forward+backward, dataset synthesis.
+// Not a paper table — used to size the training configurations.
+#include <benchmark/benchmark.h>
+
+#include "core/generator.h"
+#include "core/predictor.h"
+#include "data/dataloader.h"
+#include "datasets/beer.h"
+#include "eval/experiment.h"
+#include "nn/gru.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Pcg32 rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Pcg32 rng(2);
+  Tensor logits = Tensor::Randn({256, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_AutogradElementwiseChain(benchmark::State& state) {
+  Pcg32 rng(3);
+  Tensor t = Tensor::Randn({64, 64}, rng);
+  for (auto _ : state) {
+    ag::Variable x = ag::Variable::Param(t);
+    ag::Variable y = x;
+    for (int i = 0; i < 16; ++i) y = ag::Tanh(ag::AddScalar(y, 0.01f));
+    ag::Sum(y).Backward();
+    benchmark::DoNotOptimize(x.grad());
+  }
+}
+BENCHMARK(BM_AutogradElementwiseChain);
+
+void BM_BiGruForwardBackward(benchmark::State& state) {
+  int64_t batch = state.range(0);
+  Pcg32 rng(4);
+  nn::BiGru gru(32, 24, rng);
+  Pcg32 data_rng(5);
+  Tensor x = Tensor::Randn({batch, 40, 32}, data_rng, 0.3f);
+  for (auto _ : state) {
+    ag::Variable xv = ag::Variable::Param(x);
+    ag::Variable out = gru.Forward(xv);
+    ag::Sum(out).Backward();
+    benchmark::DoNotOptimize(xv.grad());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 40);
+}
+BENCHMARK(BM_BiGruForwardBackward)->Arg(16)->Arg(64);
+
+void BM_GeneratorMaskSampling(benchmark::State& state) {
+  datasets::SyntheticDataset ds = datasets::MakeBeerDataset(
+      datasets::BeerAspect::kAroma, {.train = 64, .dev = 8, .test = 8}, 7);
+  core::TrainConfig config;
+  Tensor embeddings = eval::BuildEmbeddings(ds, config);
+  Pcg32 rng(8);
+  core::Generator generator(embeddings, config, rng);
+  data::DataLoader loader(ds.train, 64, /*shuffle=*/false);
+  data::Batch batch = loader.Sequential()[0];
+  Pcg32 sample_rng(9);
+  for (auto _ : state) {
+    nn::GumbelMask mask = generator.SampleMask(batch, sample_rng);
+    benchmark::DoNotOptimize(mask.hard.value());
+  }
+}
+BENCHMARK(BM_GeneratorMaskSampling);
+
+void BM_PredictorForward(benchmark::State& state) {
+  datasets::SyntheticDataset ds = datasets::MakeBeerDataset(
+      datasets::BeerAspect::kAroma, {.train = 64, .dev = 8, .test = 8}, 10);
+  core::TrainConfig config;
+  Tensor embeddings = eval::BuildEmbeddings(ds, config);
+  Pcg32 rng(11);
+  core::Predictor predictor(embeddings, config, rng);
+  predictor.SetTraining(false);
+  data::DataLoader loader(ds.train, 64, /*shuffle=*/false);
+  data::Batch batch = loader.Sequential()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.ForwardFullText(batch).value());
+  }
+}
+BENCHMARK(BM_PredictorForward);
+
+void BM_DatasetSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    datasets::SyntheticDataset ds = datasets::MakeBeerDataset(
+        datasets::BeerAspect::kPalate, {.train = 200, .dev = 20, .test = 20},
+        12);
+    benchmark::DoNotOptimize(ds.train.size());
+  }
+}
+BENCHMARK(BM_DatasetSynthesis);
+
+}  // namespace
+}  // namespace dar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Table V — BeerAdvocate with *low* rationale sparsity (~10-12%).
+//
+// The paper follows CAR/DMR and forces all methods to select far fewer
+// tokens than the human annotations; DAR's lead grows (Aroma: 68.5 vs
+// DMR's 54.3, +11.2 absolute over the best baseline).
+#include "bench/bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* method;
+  float f1[3];  // appearance, aroma, palate
+};
+constexpr PaperRow kPaper[] = {
+    {"RNP", {56.2f, 57.3f, 47.5f}},
+    {"CAR", {59.9f, 40.1f, 50.9f}},
+    {"DMR", {64.7f, 54.3f, 51.7f}},
+    {"DAR", {71.7f, 68.5f, 58.2f}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("Table V: BeerAdvocate at low sparsity",
+                     "paper Table V (alpha ~ 0.10-0.12, below annotation "
+                     "level)",
+                     options);
+  core::TrainConfig base = options.config();
+
+  const char* methods[] = {"RNP", "CAR", "DMR", "DAR"};
+  float measured_f1[4][3] = {};
+  for (int aspect = 0; aspect < 3; ++aspect) {
+    datasets::SyntheticDataset dataset = datasets::MakeBeerDataset(
+        static_cast<datasets::BeerAspect>(aspect), options.sizes(),
+        options.seed);
+    // Low-sparsity protocol: the budget is ~70% of the gold level instead
+    // of matching it (mirrors the paper's ~11% targets vs 12-18% gold).
+    float alpha = 0.7f * dataset.AnnotationSparsity();
+    std::printf("-- Beer-%s (alpha %.1f%%, gold %.1f%%) --\n",
+                datasets::BeerAspectName(
+                    static_cast<datasets::BeerAspect>(aspect))
+                    .c_str(),
+                100.0f * alpha, 100.0f * dataset.AnnotationSparsity());
+    eval::TablePrinter table({"Method", "S", "Acc", "P", "R", "F1"});
+    for (int m = 0; m < 4; ++m) {
+      core::TrainConfig config = base.WithSparsityTarget(alpha);
+      auto model = eval::MakeMethod(methods[m], dataset, config);
+      eval::MethodResult result = eval::TrainAndEvaluate(*model, dataset);
+      bench::AddResultRow(table, result.method, result,
+                          std::string(methods[m]) != "CAR");
+      measured_f1[m][aspect] = 100.0f * result.rationale.f1;
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("-- Paper vs measured F1 --\n");
+  eval::TablePrinter cmp({"Method", "App(paper)", "App(ours)", "Aroma(paper)",
+                          "Aroma(ours)", "Palate(paper)", "Palate(ours)"});
+  for (int m = 0; m < 4; ++m) {
+    cmp.AddRow({kPaper[m].method, eval::FormatFloat(kPaper[m].f1[0]),
+                eval::FormatFloat(measured_f1[m][0]),
+                eval::FormatFloat(kPaper[m].f1[1]),
+                eval::FormatFloat(measured_f1[m][1]),
+                eval::FormatFloat(kPaper[m].f1[2]),
+                eval::FormatFloat(measured_f1[m][2])});
+  }
+  cmp.Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table VII — Skewed predictor (the interlocking setting of A2R).
+//
+// Protocol (paper Section V-C): pretrain the predictor on the *first
+// sentence only* (about appearance) for k epochs, then run the cooperative
+// game on Aroma / Palate from that poisoned initialization. RNP collapses
+// as k grows (Palate F1 down to 0.6); A2R degrades; DAR is barely affected.
+#include "bench/bench_common.h"
+
+#include "core/skew.h"
+#include "core/trainer.h"
+
+namespace {
+
+struct PaperCell {
+  float rnp, a2r, dar;
+};
+// Paper Table VII F1 by (aspect, skew level).
+constexpr PaperCell kPaper[2][3] = {
+    // Aroma: skew10 / skew15 / skew20
+    {{61.5f, 69.2f, 73.9f}, {49.3f, 51.7f, 74.2f}, {11.0f, 46.3f, 74.2f}},
+    // Palate
+    {{5.5f, 45.5f, 60.0f}, {1.3f, 27.7f, 60.1f}, {0.6f, 0.6f, 59.8f}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("Table VII: skewed predictor (interlocking)",
+                     "paper Table VII — Aroma & Palate, skew k in {10,15,20} "
+                     "pretraining epochs (scaled here to {1,2,4})",
+                     options);
+  core::TrainConfig base = options.config();
+
+  // The paper pretrains for 10/15/20 epochs at batch 500 over ~15k
+  // examples (~300-600 optimizer steps). Our datasets are ~20x smaller, so
+  // matching the *step count* (not the epoch count) reproduces the same
+  // mild-to-severe poisoning range: {4, 8, 16} epochs at batch 64.
+  const int64_t skew_epochs[3] = {4, 8, 16};
+  const char* skew_names[3] = {"skew-mild", "skew-medium", "skew-severe"};
+  const datasets::BeerAspect aspects[2] = {datasets::BeerAspect::kAroma,
+                                           datasets::BeerAspect::kPalate};
+
+  for (int a = 0; a < 2; ++a) {
+    datasets::SyntheticDataset dataset =
+        datasets::MakeBeerDataset(aspects[a], options.sizes(), options.seed);
+    core::TrainConfig config =
+        base.WithSparsityTarget(dataset.AnnotationSparsity());
+    std::printf("-- Beer-%s --\n",
+                datasets::BeerAspectName(aspects[a]).c_str());
+    eval::TablePrinter table({"Setting", "Method", "SkewAcc", "Acc", "P", "R",
+                              "F1", "F1(paper)"});
+    for (int s = 0; s < 3; ++s) {
+      const char* methods[3] = {"RNP", "A2R", "DAR"};
+      const float paper_f1[3] = {kPaper[a][s].rnp, kPaper[a][s].a2r,
+                                 kPaper[a][s].dar};
+      for (int m = 0; m < 3; ++m) {
+        auto model = eval::MakeMethod(methods[m], dataset, config);
+        Pcg32 skew_rng(options.seed ^ (0x5e << s) ^ static_cast<uint64_t>(m));
+        float skew_acc = core::SkewPredictorPretrain(
+            model->predictor(), dataset, skew_epochs[s], skew_rng,
+            /*batch_size=*/64, /*lr=*/2e-3f);
+        eval::MethodResult result = eval::TrainAndEvaluate(*model, dataset);
+        table.AddRow({skew_names[s], result.method,
+                      eval::FormatPercent(skew_acc),
+                      eval::FormatPercent(result.rationale_acc),
+                      eval::FormatPercent(result.rationale.precision),
+                      eval::FormatPercent(result.rationale.recall),
+                      eval::FormatPercent(result.rationale.f1),
+                      eval::FormatFloat(paper_f1[m])});
+      }
+      if (s < 2) table.AddRule();
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check against the paper: DAR's F1 stays ~flat across skew\n"
+      "levels while RNP (and, at severe skew, A2R) falls off.\n");
+  return 0;
+}

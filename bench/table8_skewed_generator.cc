@@ -1,0 +1,66 @@
+// Table VIII — Skewed generator on Beer-Palate.
+//
+// Protocol: pretrain the generator so that *selecting the first token*
+// encodes the label (select for class 1, deselect for class 0) until the
+// degenerate first-token classifier passes an accuracy threshold k; then
+// run the game. The predictor only needs the position-0 leak to classify,
+// so RNP's rationales collapse as k grows (F1 43.9 -> 8.8 in the paper)
+// while DAR stays in the 49-56 range.
+#include "bench/bench_common.h"
+
+#include "core/skew.h"
+
+namespace {
+
+struct PaperCell {
+  float rnp_f1, dar_f1;
+};
+constexpr float kThresholds[4] = {0.60f, 0.65f, 0.70f, 0.75f};
+constexpr PaperCell kPaper[4] = {
+    {43.9f, 55.7f}, {42.7f, 53.6f}, {10.8f, 51.2f}, {8.8f, 49.7f}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dar;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintHeader("Table VIII: skewed generator",
+                     "paper Table VIII — Beer-Palate, skew threshold k in "
+                     "{60, 65, 70, 75}%",
+                     options);
+
+  datasets::SyntheticDataset dataset = datasets::MakeBeerDataset(
+      datasets::BeerAspect::kPalate, options.sizes(), options.seed);
+  core::TrainConfig config =
+      options.config().WithSparsityTarget(dataset.AnnotationSparsity());
+
+  eval::TablePrinter table({"Setting", "Method", "Pre_acc", "S", "Acc", "P",
+                            "R", "F1", "F1(paper)"});
+  for (int s = 0; s < 4; ++s) {
+    const char* methods[2] = {"RNP", "DAR"};
+    const float paper_f1[2] = {kPaper[s].rnp_f1, kPaper[s].dar_f1};
+    for (int m = 0; m < 2; ++m) {
+      auto model = eval::MakeMethod(methods[m], dataset, config);
+      Pcg32 skew_rng(options.seed ^ (0x8e << s) ^ static_cast<uint64_t>(m));
+      float pre_acc = core::SkewGeneratorPretrain(
+          model->generator(), dataset, kThresholds[s], skew_rng);
+      eval::MethodResult result = eval::TrainAndEvaluate(*model, dataset);
+      char setting[32];
+      std::snprintf(setting, sizeof(setting), "skew%.1f",
+                    100.0f * kThresholds[s]);
+      table.AddRow({setting, result.method, eval::FormatPercent(pre_acc),
+                    eval::FormatPercent(result.rationale.sparsity),
+                    eval::FormatPercent(result.rationale_acc),
+                    eval::FormatPercent(result.rationale.precision),
+                    eval::FormatPercent(result.rationale.recall),
+                    eval::FormatPercent(result.rationale.f1),
+                    eval::FormatFloat(paper_f1[m])});
+    }
+    if (s < 3) table.AddRule();
+  }
+  table.Print();
+  std::printf(
+      "\nShape to check against the paper: RNP's F1 decays as Pre_acc rises\n"
+      "(the leak gets stronger); DAR degrades only mildly.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Rationale-shift demo: a minimal, self-contained reproduction of the
+// paper's core diagnosis (Figs. 2 & 3).
+//
+// We crank the shortcut token's label correlation up, train vanilla RNP
+// and DAR, and report (a) how often each model's rationale contains the
+// shortcut token, (b) accuracy on rationale vs full text, (c) rationale
+// F1. RNP is free to collude through the shortcut; DAR's frozen full-text
+// discriminator rejects rationales that deviate from the input semantics.
+#include <cstdio>
+
+#include "core/train_config.h"
+#include "datasets/hotel.h"
+#include "eval/analysis.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace dar;
+
+  // Severe shortcut: "-" appears in ~95% of negatives, ~5% of positives.
+  datasets::SyntheticDataset dataset = datasets::MakeHotelDataset(
+      datasets::HotelAspect::kCleanliness,
+      {.train = 800, .dev = 160, .test = 200}, /*seed=*/13,
+      /*shortcut_strength=*/0.9f);
+  std::printf(
+      "Hotel-Cleanliness with a strong '-' shortcut (Fig. 2's pattern):\n"
+      "the token alone classifies ~95%% of reviews.\n\n");
+
+  core::TrainConfig config;
+  config.epochs = 8;
+  config.seed = 13;
+  config = config.WithSparsityTarget(dataset.AnnotationSparsity());
+
+  eval::TablePrinter table({"Method", "ShortcutSel%", "Acc(rat.)",
+                            "Acc(full)", "F1"});
+  for (const char* method : {"RNP", "DAR"}) {
+    auto model = eval::MakeMethod(method, dataset, config);
+    eval::MethodResult result = eval::TrainAndEvaluate(*model, dataset);
+    float shortcut_rate = eval::TokenSelectionRate(
+        *model, dataset.test,
+        dataset.vocab.IdOrUnk(dataset.config.shortcut_token));
+    table.AddRow({result.method, eval::FormatPercent(shortcut_rate),
+                  eval::FormatPercent(result.rationale_acc),
+                  eval::FormatPercent(result.full_text_acc),
+                  eval::FormatPercent(result.rationale.f1)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: a model that selects the shortcut often while\n"
+      "keeping rationale accuracy high has *shifted* — its predictor reads\n"
+      "the deviation, not the semantics (watch the full-text accuracy and\n"
+      "F1 drop). DAR should select the shortcut rarely and keep F1 high.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every bench binary, appending all output to the file given as $1.
+# Equivalent to `for b in build/bench/*; do $b; done` with progress markers.
+out="$1"
+: > "$out"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $b" >> "$out"
+  "$b" >> "$out" 2>&1
+done
+echo "ALL_BENCHES_DONE" >> "$out"

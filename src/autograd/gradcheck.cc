@@ -1,0 +1,55 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    const std::vector<Tensor>& inputs, float eps, float tol) {
+  GradCheckResult result;
+  result.ok = true;
+
+  // Analytic gradients.
+  std::vector<Variable> leaves;
+  leaves.reserve(inputs.size());
+  for (const Tensor& t : inputs) leaves.push_back(Variable::Param(t));
+  Variable out = fn(leaves);
+  DAR_CHECK_MSG(out.value().numel() == 1, "gradcheck requires a scalar output");
+  out.Backward();
+
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    const Tensor& analytic = leaves[vi].grad();
+    for (int64_t i = 0; i < inputs[vi].numel(); ++i) {
+      // Central difference: re-evaluate fn at x ± eps for this element.
+      auto eval_at = [&](float delta) {
+        std::vector<Variable> probe;
+        probe.reserve(inputs.size());
+        for (size_t vj = 0; vj < inputs.size(); ++vj) {
+          Tensor t = inputs[vj];
+          if (vj == vi) t.flat(i) += delta;
+          probe.push_back(Variable::Param(std::move(t)));
+        }
+        return fn(probe).value().item();
+      };
+      float numeric = (eval_at(eps) - eval_at(-eps)) / (2.0f * eps);
+      float err = std::fabs(numeric - analytic.flat(i));
+      if (err > result.max_abs_error) {
+        result.max_abs_error = err;
+        std::ostringstream os;
+        os << "input " << vi << ", element " << i << " (analytic "
+           << analytic.flat(i) << ", numeric " << numeric << ")";
+        result.worst_location = os.str();
+      }
+      if (err > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace dar

@@ -1,0 +1,38 @@
+// Numerical gradient checking.
+//
+// Validates an analytic gradient by central finite differences. Used by the
+// test suite to certify every autograd op and every nn module.
+#ifndef DAR_AUTOGRAD_GRADCHECK_H_
+#define DAR_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace dar {
+namespace ag {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  bool ok = false;
+  /// Maximum elementwise |analytic - numeric| over all checked inputs.
+  float max_abs_error = 0.0f;
+  /// Where the maximum occurred ("input 1, element 7").
+  std::string worst_location;
+};
+
+/// Checks d(scalar fn(inputs)) / d(inputs) against central differences.
+///
+/// `fn` must build a fresh graph from the passed leaves and return a scalar
+/// Variable. Each leaf in `inputs` must require grad. The check perturbs
+/// every element of every input by ±eps and compares.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    const std::vector<Tensor>& inputs, float eps = 1e-3f, float tol = 2e-2f);
+
+}  // namespace ag
+}  // namespace dar
+
+#endif  // DAR_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,32 @@
+#include <utility>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace ag {
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = dar::MatMul(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    // dA = dC * B^T ; dB = A^T * dC
+    if (pa->requires_grad) pa->AccumulateGrad(dar::MatMulTB(n.grad, pb->value));
+    if (pb->requires_grad) pb->AccumulateGrad(dar::MatMulTA(pa->value, n.grad));
+  });
+}
+
+Variable MatMulNT(const Variable& a, const Variable& b) {
+  Tensor out = dar::MatMulTB(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+    // C = A B^T: dA = dC * B ; dB = dC^T * A.
+    if (pa->requires_grad) pa->AccumulateGrad(dar::MatMul(n.grad, pb->value));
+    if (pb->requires_grad) pb->AccumulateGrad(dar::MatMulTA(n.grad, pa->value));
+  });
+}
+
+}  // namespace ag
+}  // namespace dar

@@ -1,0 +1,196 @@
+#include <utility>
+
+#include "autograd/ops.h"
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace ag {
+
+Variable Reshape(const Variable& a, Shape shape) {
+  Tensor out = a.value().Reshape(shape);
+  auto pa = a.node();
+  Shape original = a.value().shape();
+  return MakeOpResult(std::move(out), {pa}, [pa, original](Node& n) {
+    pa->AccumulateGrad(n.grad.Reshape(original));
+  });
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  Tensor out = dar::ConcatCols(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  int64_t na = a.value().size(1);
+  int64_t nb = b.value().size(1);
+  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb, na, nb](Node& n) {
+    int64_t m = n.grad.size(0);
+    const float* pg = n.grad.data();
+    if (pa->requires_grad) {
+      Tensor ga(Shape{m, na});
+      float* p = ga.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* src = pg + i * (na + nb);
+        for (int64_t j = 0; j < na; ++j) p[i * na + j] = src[j];
+      }
+      pa->AccumulateGrad(ga);
+    }
+    if (pb->requires_grad) {
+      Tensor gb(Shape{m, nb});
+      float* p = gb.data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* src = pg + i * (na + nb) + na;
+        for (int64_t j = 0; j < nb; ++j) p[i * nb + j] = src[j];
+      }
+      pb->AccumulateGrad(gb);
+    }
+  });
+}
+
+Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
+  const Tensor& av = a.value();
+  DAR_CHECK_EQ(av.dim(), 2);
+  int64_t m = av.size(0), n_cols = av.size(1);
+  DAR_CHECK(start >= 0 && len > 0 && start + len <= n_cols);
+  Tensor out(Shape{m, len});
+  {
+    const float* pa = av.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < len; ++j) po[i * len + j] = pa[i * n_cols + start + j];
+    }
+  }
+  auto pn = a.node();
+  return MakeOpResult(std::move(out), {pn}, [pn, m, n_cols, start, len](Node& n) {
+    Tensor g(pn->value.shape());
+    const float* pg = n.grad.data();
+    float* pgo = g.data();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < len; ++j) pgo[i * n_cols + start + j] = pg[i * len + j];
+    }
+    pn->AccumulateGrad(g);
+  });
+}
+
+Variable SliceTimeOp(const Variable& x, int64_t t) {
+  Tensor out = dar::SliceTime(x.value(), t);
+  auto pn = x.node();
+  return MakeOpResult(std::move(out), {pn}, [pn, t](Node& n) {
+    Tensor g(pn->value.shape());
+    SetTime(g, t, n.grad);
+    pn->AccumulateGrad(g);
+  });
+}
+
+Variable StackTimeOp(const std::vector<Variable>& steps) {
+  DAR_CHECK(!steps.empty());
+  int64_t t_len = static_cast<int64_t>(steps.size());
+  const Tensor& first = steps[0].value();
+  DAR_CHECK_EQ(first.dim(), 2);
+  int64_t b = first.size(0), e = first.size(1);
+  Tensor out(Shape{b, t_len, e});
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(steps.size());
+  for (int64_t t = 0; t < t_len; ++t) {
+    DAR_CHECK(steps[static_cast<size_t>(t)].value().shape() == first.shape());
+    SetTime(out, t, steps[static_cast<size_t>(t)].value());
+    parents.push_back(steps[static_cast<size_t>(t)].node());
+  }
+  auto parents_copy = parents;
+  return MakeOpResult(std::move(out), std::move(parents),
+                      [parents_copy, t_len](Node& n) {
+                        for (int64_t t = 0; t < t_len; ++t) {
+                          const auto& p = parents_copy[static_cast<size_t>(t)];
+                          if (p->requires_grad) {
+                            p->AccumulateGrad(dar::SliceTime(n.grad, t));
+                          }
+                        }
+                      });
+}
+
+Variable TimeDiff(const Variable& x) {
+  const Tensor& xv = x.value();
+  DAR_CHECK_EQ(xv.dim(), 2);
+  int64_t b = xv.size(0), t = xv.size(1);
+  DAR_CHECK_GT(t, 1);
+  Tensor out(Shape{b, t - 1});
+  {
+    const float* px = xv.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < t - 1; ++j) {
+        po[i * (t - 1) + j] = px[i * t + j + 1] - px[i * t + j];
+      }
+    }
+  }
+  auto pn = x.node();
+  return MakeOpResult(std::move(out), {pn}, [pn, b, t](Node& n) {
+    Tensor g(pn->value.shape());
+    const float* pg = n.grad.data();
+    float* pgo = g.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < t - 1; ++j) {
+        float gv = pg[i * (t - 1) + j];
+        pgo[i * t + j + 1] += gv;
+        pgo[i * t + j] -= gv;
+      }
+    }
+    pn->AccumulateGrad(g);
+  });
+}
+
+Variable SliceRows(const Variable& a, int64_t start, int64_t len) {
+  const Tensor& av = a.value();
+  DAR_CHECK_EQ(av.dim(), 2);
+  int64_t m = av.size(0), n_cols = av.size(1);
+  DAR_CHECK(start >= 0 && len > 0 && start + len <= m);
+  Tensor out(Shape{len, n_cols});
+  std::copy(av.data() + start * n_cols, av.data() + (start + len) * n_cols,
+            out.data());
+  auto pn = a.node();
+  return MakeOpResult(std::move(out), {pn}, [pn, start, len, n_cols](Node& n) {
+    Tensor g(pn->value.shape());
+    std::copy(n.grad.data(), n.grad.data() + len * n_cols,
+              g.data() + start * n_cols);
+    pn->AccumulateGrad(g);
+  });
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  DAR_CHECK(!parts.empty());
+  int64_t n_cols = parts[0].value().size(1);
+  int64_t total_rows = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  for (const Variable& p : parts) {
+    DAR_CHECK_EQ(p.value().dim(), 2);
+    DAR_CHECK_EQ(p.value().size(1), n_cols);
+    total_rows += p.value().size(0);
+    parents.push_back(p.node());
+  }
+  Tensor out(Shape{total_rows, n_cols});
+  int64_t row = 0;
+  for (const Variable& p : parts) {
+    const Tensor& pv = p.value();
+    std::copy(pv.data(), pv.data() + pv.numel(), out.data() + row * n_cols);
+    row += pv.size(0);
+  }
+  auto parents_copy = parents;
+  return MakeOpResult(std::move(out), std::move(parents),
+                      [parents_copy, n_cols](Node& n) {
+                        int64_t r = 0;
+                        for (const auto& p : parents_copy) {
+                          int64_t rows = p->value.size(0);
+                          if (p->requires_grad) {
+                            Tensor g(Shape{rows, n_cols});
+                            std::copy(n.grad.data() + r * n_cols,
+                                      n.grad.data() + (r + rows) * n_cols,
+                                      g.data());
+                            p->AccumulateGrad(g);
+                          }
+                          r += rows;
+                        }
+                      });
+}
+
+}  // namespace ag
+}  // namespace dar

@@ -1,0 +1,149 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace ag {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  DAR_CHECK_MSG(g.shape() == value.shape(), "gradient shape mismatch");
+  if (grad.numel() != value.numel() || grad.shape() != value.shape()) {
+    grad = Tensor(value.shape());
+  }
+  AddInPlace(grad, g);
+}
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::Param(Tensor value) { return Variable(std::move(value), true); }
+
+Variable Variable::Constant(Tensor value) {
+  return Variable(std::move(value), false);
+}
+
+const Tensor& Variable::value() const {
+  DAR_CHECK_MSG(defined(), "use of null Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  DAR_CHECK_MSG(defined(), "use of null Variable");
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  DAR_CHECK_MSG(defined(), "use of null Variable");
+  DAR_CHECK_MSG(node_->grad.numel() == node_->value.numel(),
+                "grad accessed before backward");
+  return node_->grad;
+}
+
+bool Variable::has_grad() const {
+  return defined() && node_->grad.numel() == node_->value.numel() &&
+         node_->grad.numel() > 0;
+}
+
+void Variable::ZeroGrad() {
+  DAR_CHECK(defined());
+  if (node_->grad.numel() == node_->value.numel()) {
+    node_->grad.Zero();
+  } else {
+    node_->grad = Tensor(node_->value.shape());
+  }
+}
+
+bool Variable::requires_grad() const { return defined() && node_->requires_grad; }
+
+void Variable::set_requires_grad(bool requires_grad) {
+  DAR_CHECK(defined());
+  node_->requires_grad = requires_grad;
+}
+
+namespace {
+
+/// Iterative post-order DFS producing parents-before-children order; the
+/// returned list is consumed back-to-front by Backward. Iterative rather
+/// than recursive: GRU graphs have O(batch * time) depth and would overflow
+/// the stack under recursion.
+void TopoSort(const std::shared_ptr<Node>& root,
+              std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (!root->requires_grad) return;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* parent = f.node->parents[f.next_parent++].get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  DAR_CHECK(defined());
+  DAR_CHECK_MSG(node_->value.numel() == 1,
+                "Backward() without seed requires a scalar output");
+  Backward(Tensor(node_->value.shape(), 1.0f));
+}
+
+void Variable::Backward(const Tensor& seed) const {
+  DAR_CHECK(defined());
+  DAR_CHECK_MSG(node_->requires_grad,
+                "Backward on a node that does not require grad");
+  node_->AccumulateGrad(seed);
+  std::vector<Node*> order;
+  TopoSort(node_, order);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && n->grad.numel() == n->value.numel()) {
+      n->backward(*n);
+    }
+  }
+}
+
+Variable Variable::Detach() const {
+  DAR_CHECK(defined());
+  return Variable::Constant(node_->value);
+}
+
+Variable MakeOpResult(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+                      std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any = false;
+  for (const auto& p : parents) {
+    DAR_CHECK(p != nullptr);
+    if (p->requires_grad) any = true;
+  }
+  node->requires_grad = any;
+  if (any) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Variable(std::move(node));
+}
+
+}  // namespace ag
+}  // namespace dar

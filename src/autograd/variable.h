@@ -1,0 +1,126 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable is a shared handle to a node in a dynamically built computation
+// graph. Operations on Variables (declared in autograd/ops.h) record a
+// backward closure; Variable::Backward() runs the closures in reverse
+// topological order and accumulates gradients into every reachable node
+// that requires them.
+//
+// Graphs are built per forward pass and released when the last Variable
+// handle goes out of scope, mirroring the define-by-run style of the
+// training loops in the paper's reference implementation.
+#ifndef DAR_AUTOGRAD_VARIABLE_H_
+#define DAR_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace ag {
+
+/// Internal graph node. Users interact through Variable; this struct is
+/// public only so that op implementations (ops_*.cc) can build nodes.
+struct Node {
+  /// Forward value.
+  Tensor value;
+
+  /// Accumulated gradient w.r.t. `value`; empty until first accumulation.
+  Tensor grad;
+
+  /// Whether gradients should flow to (and through) this node.
+  bool requires_grad = false;
+
+  /// Parent nodes (inputs of the op that produced this node).
+  std::vector<std::shared_ptr<Node>> parents;
+
+  /// Propagates `grad` of this node into the parents' grads. Null for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Accumulates `g` into this node's gradient (allocates on first use).
+  void AccumulateGrad(const Tensor& g);
+};
+
+/// A differentiable value: shared handle to a graph Node.
+///
+/// Copying a Variable copies the handle (both refer to the same node), which
+/// is what training code wants: parameters are Variables held by modules and
+/// by the optimizer simultaneously.
+class Variable {
+ public:
+  /// Null handle; most APIs DAR_CHECK against using one.
+  Variable() = default;
+
+  /// Leaf node wrapping `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Leaf parameter (requires_grad = true).
+  static Variable Param(Tensor value);
+
+  /// Non-differentiable constant leaf.
+  static Variable Constant(Tensor value);
+
+  /// True if this handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  /// Forward value (read).
+  const Tensor& value() const;
+
+  /// Forward value (mutable; used by optimizers to update parameters
+  /// in place between steps — never mutate mid-graph).
+  Tensor& mutable_value();
+
+  /// Accumulated gradient. DAR_CHECKs that a gradient exists.
+  const Tensor& grad() const;
+
+  /// True once a gradient has been accumulated into this node.
+  bool has_grad() const;
+
+  /// Clears the gradient buffer (kept allocated) ahead of the next backward.
+  void ZeroGrad();
+
+  bool requires_grad() const;
+
+  /// Enables/disables gradient flow into this leaf. Only meaningful for
+  /// leaves (parameters); used to freeze pretrained modules.
+  void set_requires_grad(bool requires_grad);
+
+  Shape shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  /// Runs backpropagation from this node. If `seed` is omitted the node
+  /// must be scalar and is seeded with 1.0. Gradients accumulate — call
+  /// ZeroGrad on parameters (or Optimizer::ZeroGrad) between steps.
+  void Backward() const;
+  void Backward(const Tensor& seed) const;
+
+  /// Cuts the graph: returns a constant leaf with the same value. Used to
+  /// stop gradients (e.g., the frozen discriminator inputs in DAR do not
+  /// backprop into the predictor through auxiliary losses).
+  Variable Detach() const;
+
+  /// Op-construction helper: wraps an existing node.
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// Op-construction helper: underlying node.
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Builds a result node from an op: `value` is the forward result,
+/// `parents` the differentiable inputs, and `backward` the closure that
+/// pushes this node's gradient into the parents. The result requires grad
+/// iff any parent does; otherwise the closure is dropped and the graph is
+/// not retained (inference stays allocation-light).
+Variable MakeOpResult(Tensor value,
+                      std::vector<std::shared_ptr<Node>> parents,
+                      std::function<void(Node&)> backward);
+
+}  // namespace ag
+}  // namespace dar
+
+#endif  // DAR_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,47 @@
+#include "core/baselines/a2r.h"
+
+#include <utility>
+
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+A2rModel::A2rModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "A2R"),
+      soft_predictor_(embeddings_, config_, rng_) {}
+
+ag::Variable A2rModel::TrainLoss(const data::Batch& batch) {
+  nn::GumbelMask mask;
+  ag::Variable hard_logits;
+  ag::Variable core = RnpCoreLoss(batch, &mask, &hard_logits);
+
+  // Auxiliary head reads the soft-attended input: every token contributes,
+  // weighted by its selection probability.
+  ag::Variable soft_logits = soft_predictor_.Forward(batch, mask.soft);
+  ag::Variable soft_ce = nn::CrossEntropy(soft_logits, batch.labels);
+  ag::Variable js = nn::JsDivergence(hard_logits, soft_logits);
+
+  return ag::Add(ag::Add(core, soft_ce),
+                 ag::MulScalar(js, config_.aux_weight));
+}
+
+std::vector<ag::Variable> A2rModel::TrainableParameters() const {
+  std::vector<ag::Variable> params = RationalizerBase::TrainableParameters();
+  for (const nn::NamedParameter& p : soft_predictor_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  return params;
+}
+
+void A2rModel::SetTraining(bool training) {
+  RationalizerBase::SetTraining(training);
+  soft_predictor_.SetTraining(training);
+}
+
+int64_t A2rModel::TotalParameters() const {
+  return RationalizerBase::TotalParameters() + CountTrainable(soft_predictor_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,54 @@
+#include "core/baselines/car.h"
+
+#include <utility>
+
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+CarModel::CarModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "CAR"),
+      counter_generator_(embeddings_, config_, rng_) {}
+
+ag::Variable CarModel::TrainLoss(const data::Batch& batch) {
+  // Factual branch: identical to the RNP core.
+  nn::GumbelMask factual;
+  ag::Variable core = RnpCoreLoss(batch, &factual);
+
+  // Counterfactual branch: the counterfactual generator selects text that
+  // *imitates the opposite class*; the predictor must still recover the
+  // true class from it (it learns class-wise evidence), while the
+  // counterfactual generator adversarially tries to flip it. Gradient
+  // reversal on the mask implements the two-sided game in one pass.
+  nn::GumbelMask counter = counter_generator_.SampleMask(batch, rng_);
+  ag::Variable adversarial_mask = ag::GradientReversal(counter.hard, 1.0f);
+  ag::Variable counter_logits = predictor_.Forward(batch, adversarial_mask);
+  ag::Variable counter_ce = nn::CrossEntropy(counter_logits, batch.labels);
+  ag::Variable counter_omega =
+      SparsityCoherencePenalty(counter, batch.valid, config_);
+
+  return ag::Add(core, ag::Add(ag::MulScalar(counter_ce, config_.aux_weight),
+                               counter_omega));
+}
+
+std::vector<ag::Variable> CarModel::TrainableParameters() const {
+  std::vector<ag::Variable> params = RationalizerBase::TrainableParameters();
+  for (const nn::NamedParameter& p : counter_generator_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  return params;
+}
+
+void CarModel::SetTraining(bool training) {
+  RationalizerBase::SetTraining(training);
+  counter_generator_.SetTraining(training);
+}
+
+int64_t CarModel::TotalParameters() const {
+  return RationalizerBase::TotalParameters() +
+         CountTrainable(counter_generator_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,37 @@
+// CAR — Class-wise Adversarial Rationalization (Chang et al., NeurIPS 2019).
+//
+// CAR plays a class-wise game: a factual generator selects evidence *for*
+// the true class, a counterfactual generator selects evidence for the
+// opposite class, and the discriminating predictor must recover the source
+// class either way. We reimplement the game with two generators and a
+// gradient-reversal adversarial coupling on the counterfactual branch.
+// Like the original, CAR uses the label to route generation, so rationale-
+// prediction accuracy is not reported for it (the paper's "N/A" cells).
+#ifndef DAR_CORE_BASELINES_CAR_H_
+#define DAR_CORE_BASELINES_CAR_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Class-wise adversarial baseline ("re-CAR").
+class CarModel : public RationalizerBase {
+ public:
+  CarModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  std::vector<ag::Variable> TrainableParameters() const override;
+  void SetTraining(bool training) override;
+  int64_t NumModules() const override { return 3; }
+  int64_t TotalParameters() const override;
+
+ private:
+  /// Counterfactual generator (the factual one is the base generator_).
+  Generator counter_generator_;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_BASELINES_CAR_H_

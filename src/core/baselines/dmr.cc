@@ -1,0 +1,51 @@
+#include "core/baselines/dmr.h"
+
+#include <utility>
+
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+DmrModel::DmrModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "DMR"),
+      teacher_(embeddings_, config_, rng_) {}
+
+ag::Variable DmrModel::TrainLoss(const data::Batch& batch) {
+  nn::GumbelMask mask;
+  ag::Variable rationale_logits;
+  ag::Variable core = RnpCoreLoss(batch, &mask, &rationale_logits);
+
+  // Teacher learns the full-text task during the game (co-trained, unlike
+  // DAR's frozen pretrained discriminator).
+  ag::Variable teacher_logits = teacher_.ForwardFullText(batch);
+  ag::Variable teacher_ce = nn::CrossEntropy(teacher_logits, batch.labels);
+
+  // Output-distribution matching: pull the rationale predictor's output
+  // toward the (detached) teacher distribution.
+  ag::Variable teacher_probs = ag::SoftmaxRowsOp(teacher_logits).Detach();
+  ag::Variable match = nn::KlDivergence(teacher_probs, rationale_logits);
+
+  return ag::Add(ag::Add(core, teacher_ce),
+                 ag::MulScalar(match, config_.aux_weight));
+}
+
+std::vector<ag::Variable> DmrModel::TrainableParameters() const {
+  std::vector<ag::Variable> params = RationalizerBase::TrainableParameters();
+  for (const nn::NamedParameter& p : teacher_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  return params;
+}
+
+void DmrModel::SetTraining(bool training) {
+  RationalizerBase::SetTraining(training);
+  teacher_.SetTraining(training);
+}
+
+int64_t DmrModel::TotalParameters() const {
+  return RationalizerBase::TotalParameters() + CountTrainable(teacher_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,38 @@
+// DMR — Distribution Matching for Rationalization (Huang et al., 2021).
+//
+// DMR trains an extra predictor on the *full text* alongside the game and
+// matches the rationale predictor's output distribution to the full-text
+// teacher's (output-level alignment). The paper's critique (Section II):
+// because the teacher co-trains from scratch and only *outputs* are
+// aligned, the rationale can still deviate from the input — DMR fixes
+// degeneration but not general rationale shift.
+#ifndef DAR_CORE_BASELINES_DMR_H_
+#define DAR_CORE_BASELINES_DMR_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Reimplementation of DMR's objective on the shared skeleton:
+///   CE(Y, P(Z)) + CE(Y, T(X)) + w * KL(softmax(T(X)).detach() || P(Z)) + Omega.
+class DmrModel : public RationalizerBase {
+ public:
+  DmrModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  std::vector<ag::Variable> TrainableParameters() const override;
+  void SetTraining(bool training) override;
+  int64_t NumModules() const override { return 3; }
+  int64_t TotalParameters() const override;
+
+  Predictor& teacher() { return teacher_; }
+
+ private:
+  Predictor teacher_;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_BASELINES_DMR_H_

@@ -1,0 +1,45 @@
+#include "core/baselines/inter_rat.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+InterRatModel::InterRatModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "Inter_RAT") {}
+
+ag::Variable InterRatModel::TrainLoss(const data::Batch& batch) {
+  nn::GumbelMask mask;
+  ag::Variable logits;
+  ag::Variable core = RnpCoreLoss(batch, &mask, &logits);
+
+  // Intervene on the context: each example's unselected positions take the
+  // tokens of a random other example in the batch (a cyclic shift by a
+  // random offset keeps it one permutation per batch).
+  int64_t b = batch.batch_size();
+  int64_t shift = 1 + static_cast<int64_t>(
+                          rng().Below(static_cast<uint32_t>(std::max<int64_t>(b - 1, 1))));
+  std::vector<std::vector<int64_t>> alt_tokens(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    alt_tokens[static_cast<size_t>(i)] =
+        batch.tokens[static_cast<size_t>((i + shift) % b)];
+  }
+  ag::Variable intervened = predictor_.ForwardMixed(batch, alt_tokens, mask.hard);
+
+  // Backdoor consistency: the prediction from the rationale must not move
+  // when the context is resampled.
+  ag::Variable target = ag::SoftmaxRowsOp(logits).Detach();
+  ag::Variable consistency = nn::KlDivergence(target, intervened);
+  // The intervened pass also supervises directly (rationale should predict
+  // Y under any context).
+  ag::Variable intervened_ce = nn::CrossEntropy(intervened, batch.labels);
+
+  return ag::Add(core, ag::MulScalar(ag::Add(consistency, intervened_ce),
+                                     config_.aux_weight));
+}
+
+}  // namespace core
+}  // namespace dar

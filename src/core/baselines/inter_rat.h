@@ -1,0 +1,29 @@
+// Inter_RAT — Interventional Rationalization (Yue et al., 2023).
+//
+// Inter_RAT casts spurious correlations in rationalization as confounding
+// and removes them with backdoor adjustment: predictions conditioned on the
+// rationale should be invariant to interventions on the non-rationale
+// context. We approximate the intervention by swapping each example's
+// unselected context with another example's tokens and penalizing the
+// divergence between the original and intervened predictions.
+#ifndef DAR_CORE_BASELINES_INTER_RAT_H_
+#define DAR_CORE_BASELINES_INTER_RAT_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Reimplementation of Inter_RAT's objective ("re-Inter_RAT"):
+///   CE(Y, P(Z)) + w * KL(P(Z).detach() || P(Z_intervened)) + Omega.
+class InterRatModel : public RationalizerBase {
+ public:
+  InterRatModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_BASELINES_INTER_RAT_H_

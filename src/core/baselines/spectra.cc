@@ -1,0 +1,44 @@
+#include "core/baselines/spectra.h"
+
+#include <utility>
+
+#include "core/baselines/vib.h"
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+SpectraModel::SpectraModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "SPECTRA") {}
+
+ag::Variable SpectraModel::TrainLoss(const data::Batch& batch) {
+  ag::Variable scores = generator_.SelectionLogits(batch);
+  ag::Variable soft = ag::Mul(ag::Sigmoid(scores),
+                              ag::Variable::Constant(batch.valid));
+  // Deterministic budgeted top-k with a straight-through relaxation:
+  // forward value is the hard mask, backward gradient flows to `soft`.
+  Tensor hard = BudgetTopKMask(soft.value(), batch.valid,
+                               config_.sparsity_target);
+  ag::Variable mask_st = ag::Add(ag::Sub(soft, soft.Detach()),
+                                 ag::Variable::Constant(hard));
+
+  ag::Variable logits = predictor_.Forward(batch, mask_st);
+  ag::Variable ce = nn::CrossEntropy(logits, batch.labels);
+  // The budget already fixes sparsity; only the coherence half of Omega is
+  // meaningful here, which SparsityCoherencePenalty contributes (the
+  // sparsity term is ~0 by construction).
+  nn::GumbelMask mask{soft, mask_st};
+  ag::Variable omega = SparsityCoherencePenalty(mask, batch.valid, config_);
+  return ag::Add(ce, omega);
+}
+
+Tensor SpectraModel::EvalMask(const data::Batch& batch) {
+  bool was_training = generator_.training();
+  generator_.SetTraining(false);
+  Tensor scores = generator_.SelectionLogits(batch).value();
+  generator_.SetTraining(was_training);
+  return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
+}
+
+}  // namespace core
+}  // namespace dar

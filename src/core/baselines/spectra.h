@@ -1,0 +1,29 @@
+// SPECTRA — Sparse Structured Text Rationalization
+// (Guerreiro & Martins, EMNLP 2021).
+//
+// SPECTRA replaces stochastic sampling with *deterministic* structured
+// selection under a budget constraint, relaxed for end-to-end training. We
+// implement the budget factor: exactly a target fraction of tokens is
+// selected per example by top-k over the generator scores, trained with a
+// straight-through relaxation.
+#ifndef DAR_CORE_BASELINES_SPECTRA_H_
+#define DAR_CORE_BASELINES_SPECTRA_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Deterministic budgeted top-k baseline ("re-SPECTRA").
+class SpectraModel : public RationalizerBase {
+ public:
+  SpectraModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  Tensor EvalMask(const data::Batch& batch) override;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_BASELINES_SPECTRA_H_

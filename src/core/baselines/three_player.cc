@@ -1,0 +1,51 @@
+#include "core/baselines/three_player.h"
+
+#include <utility>
+
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+ThreePlayerModel::ThreePlayerModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "3PLAYER"),
+      complement_predictor_(embeddings_, config_, rng_) {}
+
+ag::Variable ThreePlayerModel::TrainLoss(const data::Batch& batch) {
+  nn::GumbelMask mask;
+  ag::Variable core = RnpCoreLoss(batch, &mask);
+
+  // Complement mask: valid positions not selected by the generator. The
+  // gradient reversal sits between the mask and the complement predictor:
+  // P_c's parameters receive the ordinary minimizing gradient, while the
+  // generator (through the mask) receives the *negated* one — it wants the
+  // complement to be uninformative.
+  ag::Variable complement =
+      ag::Sub(ag::Variable::Constant(batch.valid), mask.hard);
+  ag::Variable adversarial = ag::GradientReversal(complement, 1.0f);
+  ag::Variable comp_logits = complement_predictor_.Forward(batch, adversarial);
+  ag::Variable comp_ce = nn::CrossEntropy(comp_logits, batch.labels);
+
+  return ag::Add(core, ag::MulScalar(comp_ce, config_.aux_weight));
+}
+
+std::vector<ag::Variable> ThreePlayerModel::TrainableParameters() const {
+  std::vector<ag::Variable> params = RationalizerBase::TrainableParameters();
+  for (const nn::NamedParameter& p : complement_predictor_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  return params;
+}
+
+void ThreePlayerModel::SetTraining(bool training) {
+  RationalizerBase::SetTraining(training);
+  complement_predictor_.SetTraining(training);
+}
+
+int64_t ThreePlayerModel::TotalParameters() const {
+  return RationalizerBase::TotalParameters() +
+         CountTrainable(complement_predictor_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,64 @@
+#include "core/baselines/vib.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "nn/loss.h"
+#include "tensor/check.h"
+
+namespace dar {
+namespace core {
+
+Tensor BudgetTopKMask(const Tensor& scores, const Tensor& valid,
+                      float fraction) {
+  DAR_CHECK(scores.shape() == valid.shape());
+  DAR_CHECK(fraction > 0.0f && fraction <= 1.0f);
+  int64_t b = scores.size(0), t = scores.size(1);
+  Tensor mask(scores.shape());
+  for (int64_t i = 0; i < b; ++i) {
+    std::vector<std::pair<float, int64_t>> order;
+    int64_t len = 0;
+    for (int64_t j = 0; j < t; ++j) {
+      if (valid.at(i, j) > 0.0f) {
+        order.emplace_back(scores.at(i, j), j);
+        ++len;
+      }
+    }
+    int64_t k = std::max<int64_t>(
+        1, static_cast<int64_t>(fraction * static_cast<float>(len) + 0.5f));
+    k = std::min(k, len);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (int64_t j = 0; j < k; ++j) mask.at(i, order[static_cast<size_t>(j)].second) = 1.0f;
+  }
+  return mask;
+}
+
+VibModel::VibModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "VIB") {}
+
+ag::Variable VibModel::TrainLoss(const data::Batch& batch) {
+  nn::GumbelMask mask = generator_.SampleMask(batch, rng_);
+  // The predictor reads the *soft* bottlenecked input.
+  ag::Variable logits = predictor_.Forward(batch, mask.soft);
+  ag::Variable ce = nn::CrossEntropy(logits, batch.labels);
+  // Keep the KL on valid positions: pull padded probabilities (exact zeros
+  // after masking) out of the penalty by restricting to a valid-weighted
+  // mean. A small clamp keeps log finite.
+  ag::Variable prior_kl = nn::BernoulliKl(
+      ag::AddScalar(ag::MulScalar(mask.soft, 0.998f), 0.001f),
+      config_.sparsity_target);
+  return ag::Add(ce, ag::MulScalar(prior_kl, config_.aux_weight));
+}
+
+Tensor VibModel::EvalMask(const data::Batch& batch) {
+  bool was_training = generator_.training();
+  generator_.SetTraining(false);
+  Tensor scores = generator_.SelectionLogits(batch).value();
+  generator_.SetTraining(was_training);
+  return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
+}
+
+}  // namespace core
+}  // namespace dar

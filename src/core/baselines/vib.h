@@ -1,0 +1,35 @@
+// VIB — An Information Bottleneck Approach for Controlling Conciseness in
+// Rationale Extraction (Paranjape et al., EMNLP 2020).
+//
+// The generator emits per-token keep probabilities; training adds a KL
+// penalty pulling them toward a Bernoulli prior pi (the sparsity budget)
+// and the predictor reads the softly masked input. At test time the
+// highest-probability pi-fraction of tokens is selected.
+#ifndef DAR_CORE_BASELINES_VIB_H_
+#define DAR_CORE_BASELINES_VIB_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Selects, per example, the `fraction` highest-scoring valid tokens
+/// (at least one). Shared by the VIB and SPECTRA test-time selections.
+Tensor BudgetTopKMask(const Tensor& scores, const Tensor& valid,
+                      float fraction);
+
+/// Reimplementation of VIB's objective:
+///   CE(Y, P(X ⊙ p)) + w * KL(Bernoulli(p) || Bernoulli(pi)),
+/// pi = config.sparsity_target; test-time selection is budgeted top-k.
+class VibModel : public RationalizerBase {
+ public:
+  VibModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  Tensor EvalMask(const data::Batch& batch) override;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_BASELINES_VIB_H_

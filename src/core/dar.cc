@@ -1,0 +1,72 @@
+#include "core/dar.h"
+
+#include <utility>
+
+#include "core/trainer.h"
+#include "nn/loss.h"
+
+namespace dar {
+namespace core {
+
+DarModel::DarModel(Tensor embeddings, TrainConfig config)
+    : DarModel(std::move(embeddings), config, Options{}) {}
+
+DarModel::DarModel(Tensor embeddings, TrainConfig config, Options options)
+    : RationalizerBase(std::move(embeddings), config, "DAR"),
+      options_(options),
+      discriminator_(embeddings_, config_, rng_) {}
+
+void DarModel::Prepare(const datasets::SyntheticDataset& dataset) {
+  if (options_.pretrain_discriminator) {
+    // Eq. 4: theta_{P_t}* = argmin H_c(Y, Y^t | X) over the full input.
+    discriminator_dev_acc_ = FitFullTextPredictor(
+        discriminator_, dataset, config_.pretrain_epochs, config_.batch_size,
+        config_.lr, rng_);
+  }
+  if (options_.freeze_discriminator) {
+    discriminator_.SetRequiresGrad(false);
+  }
+}
+
+ag::Variable DarModel::TrainLoss(const data::Batch& batch) {
+  // Eq. 6: H_c(Y, P(Z)) + Omega(M)  [RNP core]  +  H_c(Y, P^t(Z)).
+  nn::GumbelMask mask;
+  ag::Variable core = RnpCoreLoss(batch, &mask);
+  // In the paper's setting the discriminator is frozen: this term's
+  // gradient reaches only the generator, through the mask (eq. 5).
+  ag::Variable disc_logits = discriminator_.Forward(batch, mask.hard);
+  ag::Variable disc_ce = nn::CrossEntropy(disc_logits, batch.labels);
+  ag::Variable loss = ag::Add(core, ag::MulScalar(disc_ce, config_.aux_weight));
+  if (!options_.freeze_discriminator) {
+    // Co-trained ablation arm: the auxiliary module also learns the
+    // full-text task from scratch during the game (the failure mode the
+    // paper attributes to DMR/A2R-style designs).
+    ag::Variable full_ce =
+        nn::CrossEntropy(discriminator_.ForwardFullText(batch), batch.labels);
+    loss = ag::Add(loss, full_ce);
+  }
+  return loss;
+}
+
+std::vector<ag::Variable> DarModel::TrainableParameters() const {
+  std::vector<ag::Variable> params = RationalizerBase::TrainableParameters();
+  if (!options_.freeze_discriminator) {
+    for (const nn::NamedParameter& p : discriminator_.Parameters()) {
+      if (p.variable.requires_grad()) params.push_back(p.variable);
+    }
+  }
+  return params;
+}
+
+void DarModel::SetTraining(bool training) {
+  RationalizerBase::SetTraining(training);
+  // The frozen discriminator always runs in eval mode.
+  discriminator_.SetTraining(!options_.freeze_discriminator && training);
+}
+
+int64_t DarModel::TotalParameters() const {
+  return RationalizerBase::TotalParameters() + CountTrainable(discriminator_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,50 @@
+#include "core/encoder.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace core {
+
+GruEncoder::GruEncoder(int64_t input_dim, int64_t hidden_dim, Pcg32& rng)
+    : gru_(input_dim, hidden_dim, rng) {
+  RegisterChild("gru", &gru_);
+}
+
+ag::Variable GruEncoder::Encode(const ag::Variable& x,
+                                const Tensor& valid) const {
+  return gru_.Forward(x, &valid);
+}
+
+TransformerSeqEncoder::TransformerSeqEncoder(
+    int64_t input_dim, const nn::TransformerConfig& config, Pcg32& rng)
+    : input_dim_(input_dim),
+      input_proj_(input_dim, config.dim, rng),
+      transformer_(config, rng) {
+  RegisterChild("proj", &input_proj_);
+  RegisterChild("transformer", &transformer_);
+}
+
+ag::Variable TransformerSeqEncoder::Encode(const ag::Variable& x,
+                                           const Tensor& valid) const {
+  const Tensor& xv = x.value();
+  DAR_CHECK_EQ(xv.size(2), input_dim_);
+  int64_t b = xv.size(0), t = xv.size(1);
+  ag::Variable flat = ag::Reshape(x, Shape{b * t, input_dim_});
+  ag::Variable projected = input_proj_.Forward(flat);
+  ag::Variable reshaped =
+      ag::Reshape(projected, Shape{b, t, transformer_.config().dim});
+  return transformer_.Forward(reshaped, valid);
+}
+
+std::unique_ptr<SequenceEncoder> MakeEncoder(const TrainConfig& config,
+                                             Pcg32& rng) {
+  if (config.encoder == EncoderKind::kTransformer) {
+    return std::make_unique<TransformerSeqEncoder>(config.embedding_dim,
+                                                   config.transformer, rng);
+  }
+  return std::make_unique<GruEncoder>(config.embedding_dim, config.hidden_dim,
+                                      rng);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,62 @@
+// Pluggable sequence encoders for the rationalization players.
+#ifndef DAR_CORE_ENCODER_H_
+#define DAR_CORE_ENCODER_H_
+
+#include <memory>
+
+#include "core/train_config.h"
+#include "nn/gru.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+
+namespace dar {
+namespace core {
+
+/// Abstract contextual encoder: embedded tokens [B, T, E] -> states
+/// [B, T, output_dim]. Both the generator and the predictors are built on
+/// this interface so the GRU and Transformer (Table VI) settings share all
+/// game logic.
+class SequenceEncoder : public nn::Module {
+ public:
+  virtual ag::Variable Encode(const ag::Variable& x,
+                              const Tensor& valid) const = 0;
+  virtual int64_t output_dim() const = 0;
+};
+
+/// Bidirectional GRU encoder (the paper's main setting).
+class GruEncoder : public SequenceEncoder {
+ public:
+  GruEncoder(int64_t input_dim, int64_t hidden_dim, Pcg32& rng);
+
+  ag::Variable Encode(const ag::Variable& x, const Tensor& valid) const override;
+  int64_t output_dim() const override { return gru_.output_dim(); }
+
+ private:
+  nn::BiGru gru_;
+};
+
+/// Transformer encoder with an input projection (the BERT stand-in).
+class TransformerSeqEncoder : public SequenceEncoder {
+ public:
+  TransformerSeqEncoder(int64_t input_dim, const nn::TransformerConfig& config,
+                        Pcg32& rng);
+
+  ag::Variable Encode(const ag::Variable& x, const Tensor& valid) const override;
+  int64_t output_dim() const override { return transformer_.output_dim(); }
+
+  nn::TransformerEncoder& transformer() { return transformer_; }
+
+ private:
+  int64_t input_dim_;
+  nn::Linear input_proj_;
+  nn::TransformerEncoder transformer_;
+};
+
+/// Builds the encoder selected by `config.encoder`.
+std::unique_ptr<SequenceEncoder> MakeEncoder(const TrainConfig& config,
+                                             Pcg32& rng);
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_ENCODER_H_

@@ -1,0 +1,51 @@
+#include "core/generator.h"
+
+#include <utility>
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace core {
+
+Generator::Generator(Tensor pretrained_embeddings, const TrainConfig& config,
+                     Pcg32& rng)
+    : config_(config),
+      embedding_(std::move(pretrained_embeddings), /*trainable=*/false),
+      encoder_(MakeEncoder(config, rng)),
+      head_(encoder_->output_dim(), 1, rng) {
+  RegisterChild("embedding", &embedding_);
+  RegisterChild("encoder", encoder_.get());
+  RegisterChild("head", &head_);
+}
+
+ag::Variable Generator::SelectionLogits(const data::Batch& batch) const {
+  ag::Variable embedded = embedding_.Forward(batch.tokens);
+  ag::Variable states = encoder_->Encode(embedded, batch.valid);
+  int64_t b = batch.batch_size(), t = batch.max_len();
+  ag::Variable flat =
+      ag::Reshape(states, Shape{b * t, encoder_->output_dim()});
+  ag::Variable logits = head_.Forward(flat);  // [B*T, 1]
+  return ag::Reshape(logits, Shape{b, t});
+}
+
+nn::GumbelMask Generator::SampleMask(const data::Batch& batch,
+                                     Pcg32& rng) const {
+  ag::Variable logits = SelectionLogits(batch);
+  return nn::SampleBinaryMask(logits, batch.valid, config_.tau, training(),
+                              rng);
+}
+
+Tensor Generator::DeterministicMask(const data::Batch& batch) const {
+  ag::Variable logits = SelectionLogits(batch);
+  // sigmoid(l / tau) > 0.5  <=>  l > 0; gated by validity.
+  Tensor mask(logits.value().shape());
+  const Tensor& lv = logits.value();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.flat(i) = (lv.flat(i) > 0.0f && batch.valid.flat(i) > 0.0f) ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace core
+}  // namespace dar

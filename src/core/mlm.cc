@@ -1,0 +1,112 @@
+#include "core/mlm.h"
+
+#include <utility>
+
+#include "autograd/ops.h"
+#include "data/dataloader.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace core {
+
+MlmPretrainer::MlmPretrainer(Tensor embeddings, const TrainConfig& config,
+                             int64_t mask_id, Pcg32& rng)
+    : config_(config),
+      mask_id_(mask_id),
+      embedding_(std::move(embeddings), /*trainable=*/false),
+      encoder_(MakeEncoder(config, rng)),
+      mlm_head_(encoder_->output_dim(), embedding_.vocab_size(), rng) {
+  DAR_CHECK_MSG(config.encoder == EncoderKind::kTransformer,
+                "MLM pretraining targets the Transformer encoder setting");
+  RegisterChild("embedding", &embedding_);
+  RegisterChild("encoder", encoder_.get());
+  RegisterChild("mlm_head", &mlm_head_);
+}
+
+float MlmPretrainer::Train(const datasets::SyntheticDataset& dataset,
+                           const MlmConfig& mlm_config, Pcg32& rng) {
+  std::vector<ag::Variable> params;
+  for (const nn::NamedParameter& p : Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  optim::Adam adam(params, {.lr = mlm_config.lr});
+  data::DataLoader loader(dataset.train, mlm_config.batch_size,
+                          /*shuffle=*/true);
+  int64_t vocab = embedding_.vocab_size();
+
+  double last_epoch_correct = 0.0, last_epoch_masked = 0.0;
+  for (int64_t epoch = 0; epoch < mlm_config.epochs; ++epoch) {
+    SetTraining(true);
+    last_epoch_correct = 0.0;
+    last_epoch_masked = 0.0;
+    for (const data::Batch& batch : loader.Epoch(rng)) {
+      int64_t b = batch.batch_size(), t = batch.max_len();
+
+      // Corrupt the inputs BERT-style and remember the targets.
+      std::vector<std::vector<int64_t>> corrupted = batch.tokens;
+      std::vector<int64_t> targets(static_cast<size_t>(b * t), 0);
+      Tensor weights(Shape{b * t});
+      float num_masked = 0.0f;
+      for (int64_t i = 0; i < b; ++i) {
+        for (int64_t j = 0; j < t; ++j) {
+          if (batch.valid.at(i, j) == 0.0f) continue;
+          if (!rng.Bernoulli(mlm_config.mask_prob)) continue;
+          int64_t original =
+              batch.tokens[static_cast<size_t>(i)][static_cast<size_t>(j)];
+          float roll = rng.NextFloat();
+          int64_t replacement = mask_id_;
+          if (roll > 0.9f) {
+            replacement = original;  // keep
+          } else if (roll > 0.8f) {
+            replacement = 2 + static_cast<int64_t>(rng.Below(
+                                  static_cast<uint32_t>(vocab - 2)));
+          }
+          corrupted[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+              replacement;
+          targets[static_cast<size_t>(i * t + j)] = original;
+          weights.at(i * t + j) = 1.0f;
+          num_masked += 1.0f;
+        }
+      }
+      if (num_masked == 0.0f) continue;
+
+      adam.ZeroGrad();
+      ag::Variable embedded = embedding_.Forward(corrupted);
+      ag::Variable states = encoder_->Encode(embedded, batch.valid);
+      ag::Variable flat =
+          ag::Reshape(states, Shape{b * t, encoder_->output_dim()});
+      ag::Variable logits = mlm_head_.Forward(flat);  // [B*T, vocab]
+      ag::Variable logp = ag::LogSoftmaxRowsOp(logits);
+      ag::Variable nll = ag::Neg(ag::PickColumns(logp, targets));
+      ag::Variable weighted = ag::Mul(nll, ag::Variable::Constant(weights));
+      ag::Variable loss = ag::MulScalar(ag::Sum(weighted), 1.0f / num_masked);
+      loss.Backward();
+      optim::ClipGradNorm(params, 5.0f);
+      adam.Step();
+
+      // Masked-token accuracy bookkeeping (greedy prediction).
+      std::vector<int64_t> pred = ArgMaxRows(logits.value());
+      for (int64_t r = 0; r < b * t; ++r) {
+        if (weights.at(r) == 0.0f) continue;
+        last_epoch_masked += 1.0;
+        if (pred[static_cast<size_t>(r)] == targets[static_cast<size_t>(r)]) {
+          last_epoch_correct += 1.0;
+        }
+      }
+    }
+  }
+  SetTraining(false);
+  return last_epoch_masked > 0.0
+             ? static_cast<float>(last_epoch_correct / last_epoch_masked)
+             : 0.0f;
+}
+
+void MlmPretrainer::InitializeEncoder(SequenceEncoder& target) const {
+  target.CopyParametersFrom(*encoder_);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,62 @@
+// Masked-token (BERT-style) pretraining for Transformer encoders.
+//
+// Table VI of the paper uses BERT-base as the players' encoder. Our
+// substitute pretrains a TransformerSeqEncoder on the synthetic corpus
+// with the masked-language-model objective (mask 15% of tokens: 80%
+// <mask>, 10% random, 10% unchanged; predict the original ids), then
+// copies the pretrained weights into each player's encoder. This creates
+// the "over-parameterized pretrained encoder" regime in which RNP-family
+// methods suffer catastrophic rationale shift and DAR does not.
+#ifndef DAR_CORE_MLM_H_
+#define DAR_CORE_MLM_H_
+
+#include <memory>
+
+#include "core/encoder.h"
+#include "core/train_config.h"
+#include "datasets/synthetic_review.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace dar {
+namespace core {
+
+/// Masked-language-model pretraining options.
+struct MlmConfig {
+  float mask_prob = 0.15f;
+  int64_t epochs = 3;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+};
+
+/// Owns a Transformer encoder plus an MLM head; Train() pretrains them on
+/// a dataset's train split and InitializeEncoder() warm-starts a player's
+/// encoder from the result.
+class MlmPretrainer : public nn::Module {
+ public:
+  /// `config.encoder` must be kTransformer; `embeddings` is the shared
+  /// frozen table; `mask_id` is the vocabulary id of "<mask>".
+  MlmPretrainer(Tensor embeddings, const TrainConfig& config, int64_t mask_id,
+                Pcg32& rng);
+
+  /// Runs MLM pretraining over the train split; returns the final-epoch
+  /// masked-token prediction accuracy.
+  float Train(const datasets::SyntheticDataset& dataset,
+              const MlmConfig& mlm_config, Pcg32& rng);
+
+  /// Copies the pretrained encoder weights into `target` (must be a
+  /// TransformerSeqEncoder with the same configuration).
+  void InitializeEncoder(SequenceEncoder& target) const;
+
+ private:
+  TrainConfig config_;
+  int64_t mask_id_;
+  nn::Embedding embedding_;
+  std::unique_ptr<SequenceEncoder> encoder_;
+  nn::Linear mlm_head_;  // encoder dim -> vocab
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_MLM_H_

@@ -1,0 +1,87 @@
+#include "core/rationalizer.h"
+
+#include <utility>
+
+#include "nn/loss.h"
+#include "tensor/check.h"
+
+namespace dar {
+namespace core {
+
+RationalizerBase::RationalizerBase(Tensor embeddings, TrainConfig config,
+                                   std::string name)
+    : config_(config),
+      name_(std::move(name)),
+      embeddings_(std::move(embeddings)),
+      rng_(config.seed, /*stream=*/0xda5),
+      generator_(embeddings_, config_, rng_),
+      predictor_(embeddings_, config_, rng_) {}
+
+void RationalizerBase::Prepare(const datasets::SyntheticDataset& dataset) {
+  (void)dataset;
+}
+
+std::vector<ag::Variable> RationalizerBase::TrainableParameters() const {
+  std::vector<ag::Variable> params;
+  for (const nn::NamedParameter& p : generator_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  for (const nn::NamedParameter& p : predictor_.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  return params;
+}
+
+void RationalizerBase::SetTraining(bool training) {
+  generator_.SetTraining(training);
+  predictor_.SetTraining(training);
+}
+
+Tensor RationalizerBase::EvalMask(const data::Batch& batch) {
+  bool was_training = generator_.training();
+  generator_.SetTraining(false);
+  Tensor mask = generator_.DeterministicMask(batch);
+  generator_.SetTraining(was_training);
+  return mask;
+}
+
+int64_t RationalizerBase::TotalParameters() const {
+  return CountTrainable(generator_) + CountTrainable(predictor_);
+}
+
+Tensor RationalizerBase::PredictLogits(const data::Batch& batch,
+                                       const Tensor& mask) {
+  bool was_training = predictor_.training();
+  predictor_.SetTraining(false);
+  Tensor logits = predictor_.ForwardWithConstMask(batch, mask).value();
+  predictor_.SetTraining(was_training);
+  return logits;
+}
+
+ag::Variable RationalizerBase::RnpCoreLoss(const data::Batch& batch,
+                                           nn::GumbelMask* mask_out,
+                                           ag::Variable* logits_out) {
+  nn::GumbelMask mask = generator_.SampleMask(batch, rng_);
+  ag::Variable logits = predictor_.Forward(batch, mask.hard);
+  ag::Variable ce = nn::CrossEntropy(logits, batch.labels);
+  ag::Variable omega = SparsityCoherencePenalty(mask, batch.valid, config_);
+  if (mask_out != nullptr) *mask_out = mask;
+  if (logits_out != nullptr) *logits_out = logits;
+  return ag::Add(ce, omega);
+}
+
+int64_t RationalizerBase::CountTrainable(const nn::Module& module) {
+  int64_t n = 0;
+  for (const nn::NamedParameter& p : module.Parameters()) {
+    // The frozen pretrained embedding tables are excluded: Table IV counts
+    // player parameters, and all methods share identical embeddings. Frozen
+    // *player* parameters (DAR's discriminator) still count — they are part
+    // of the deployed model.
+    if (p.name.find("embedding/") != std::string::npos) continue;
+    n += p.variable.numel();
+  }
+  return n;
+}
+
+}  // namespace core
+}  // namespace dar

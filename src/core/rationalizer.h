@@ -1,0 +1,92 @@
+// Base class shared by every rationalization method in this repository
+// (RNP, DAR, and the baselines under core/baselines/).
+#ifndef DAR_CORE_RATIONALIZER_H_
+#define DAR_CORE_RATIONALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/predictor.h"
+#include "core/regularizer.h"
+#include "core/train_config.h"
+#include "data/batch.h"
+#include "datasets/synthetic_review.h"
+
+namespace dar {
+namespace core {
+
+/// A rationalization method: a generator/predictor pair plus a
+/// method-specific training loss. Subclasses add auxiliary modules
+/// (DAR's frozen discriminator, DMR's teacher, A2R's soft predictor, ...)
+/// and override TrainLoss.
+class RationalizerBase {
+ public:
+  /// `embeddings` is the shared pretrained [vocab, E] table; every player
+  /// embeds the input independently (as in the reference implementations)
+  /// but from the same frozen vectors.
+  RationalizerBase(Tensor embeddings, TrainConfig config, std::string name);
+  virtual ~RationalizerBase() = default;
+
+  RationalizerBase(const RationalizerBase&) = delete;
+  RationalizerBase& operator=(const RationalizerBase&) = delete;
+
+  /// Builds the training loss for one batch (training mode, stochastic
+  /// masks). Called inside Fit()'s inner loop.
+  virtual ag::Variable TrainLoss(const data::Batch& batch) = 0;
+
+  /// One-time setup before training (e.g. DAR pretrains and freezes its
+  /// discriminator here, eq. 4). Default: nothing.
+  virtual void Prepare(const datasets::SyntheticDataset& dataset);
+
+  /// Parameters updated by the optimizer. Default: generator + predictor.
+  virtual std::vector<ag::Variable> TrainableParameters() const;
+
+  /// Train/eval mode for all modules. Default: generator + predictor.
+  virtual void SetTraining(bool training);
+
+  /// Deterministic rationale mask for evaluation, [B, T]. VIB and SPECTRA
+  /// override this with their budgeted top-k selections.
+  virtual Tensor EvalMask(const data::Batch& batch);
+
+  /// Number of player modules (Table IV row "modules"): 1 generator +
+  /// however many predictors the method uses.
+  virtual int64_t NumModules() const { return 2; }
+
+  /// Total scalar parameter count across all modules, excluding the frozen
+  /// embedding tables (Table IV row "parameters").
+  virtual int64_t TotalParameters() const;
+
+  /// Predictor logits for a fixed mask (evaluation mode).
+  Tensor PredictLogits(const data::Batch& batch, const Tensor& mask);
+
+  Generator& generator() { return generator_; }
+  Predictor& predictor() { return predictor_; }
+  const TrainConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+  const Tensor& embeddings() const { return embeddings_; }
+  Pcg32& rng() { return rng_; }
+
+ protected:
+  /// CE(Y, predictor(Z)) + Omega(M) — the RNP core that most methods build
+  /// on (eq. 2 + eq. 3). Returns the sampled mask through `mask_out` and
+  /// the predictor's rationale logits through `logits_out` so subclasses
+  /// can feed them to auxiliary modules without recomputing.
+  ag::Variable RnpCoreLoss(const data::Batch& batch, nn::GumbelMask* mask_out,
+                           ag::Variable* logits_out = nullptr);
+
+  /// Parameter count of one module, minus its frozen embedding table.
+  static int64_t CountTrainable(const nn::Module& module);
+
+  TrainConfig config_;
+  std::string name_;
+  Tensor embeddings_;
+  Pcg32 rng_;
+  Generator generator_;
+  Predictor predictor_;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_RATIONALIZER_H_

@@ -1,0 +1,67 @@
+#include "core/regularizer.h"
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace core {
+
+ag::Variable SparsityCoherencePenalty(const nn::GumbelMask& mask,
+                                      const Tensor& valid,
+                                      const TrainConfig& config) {
+  // Penalize the *hard* mask (straight-through gradients reach the
+  // generator): the soft relaxation admits a degenerate flat solution
+  // (every probability ≈ alpha) that satisfies the penalty while selecting
+  // almost nothing after thresholding.
+  const ag::Variable& m = mask.hard;
+  DAR_CHECK(m.value().shape() == valid.shape());
+  int64_t b = valid.size(0), t = valid.size(1);
+
+  // Per-example normalization, as in eq. 3: each example contributes
+  // | ||M||_1 / l - alpha |, averaged over the batch. (Pooling counts over
+  // the whole batch instead would dilute the per-token gradient by the
+  // batch size and leave the selection rate badly under target.)
+  Tensor inv_len(Shape{b});
+  for (int64_t i = 0; i < b; ++i) {
+    float len = 0.0f;
+    for (int64_t j = 0; j < t; ++j) len += valid.at(i, j);
+    DAR_CHECK_GT(len, 0.0f);
+    inv_len.at(i) = 1.0f / len;
+  }
+  ag::Variable per_example_rate =
+      ag::Mul(ag::RowSum(m), ag::Variable::Constant(inv_len));
+  ag::Variable sparsity_term = ag::Mean(
+      ag::Abs(ag::AddScalar(per_example_rate, -config.sparsity_target)));
+  ag::Variable result = ag::MulScalar(sparsity_term, config.sparsity_lambda);
+
+  // Coherence: per-example mean |m_t - m_{t-1}| over adjacent valid pairs,
+  // averaged over the batch.
+  if (t > 1) {
+    Tensor pair_valid(Shape{b, t - 1});
+    Tensor inv_pairs(Shape{b});
+    bool any = false;
+    for (int64_t i = 0; i < b; ++i) {
+      float pairs = 0.0f;
+      for (int64_t j = 0; j + 1 < t; ++j) {
+        float v = valid.at(i, j) * valid.at(i, j + 1);
+        pair_valid.at(i, j) = v;
+        pairs += v;
+      }
+      inv_pairs.at(i) = pairs > 0.0f ? 1.0f / pairs : 0.0f;
+      if (pairs > 0.0f) any = true;
+    }
+    if (any) {
+      ag::Variable diffs = ag::Abs(ag::TimeDiff(m));
+      ag::Variable masked =
+          ag::Mul(diffs, ag::Variable::Constant(pair_valid));
+      ag::Variable per_example =
+          ag::Mul(ag::RowSum(masked), ag::Variable::Constant(inv_pairs));
+      result = ag::Add(result, ag::MulScalar(ag::Mean(per_example),
+                                             config.coherence_lambda));
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace dar

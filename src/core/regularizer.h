@@ -1,0 +1,27 @@
+// Short-and-coherent rationale regularizer Ω(M) (eq. 3).
+#ifndef DAR_CORE_REGULARIZER_H_
+#define DAR_CORE_REGULARIZER_H_
+
+#include "autograd/ops.h"
+#include "core/train_config.h"
+#include "nn/gumbel.h"
+
+namespace dar {
+namespace core {
+
+/// Computes eq. 3 over a batch:
+///
+///   Omega(M) = lambda_1 * | mean_valid(M) - alpha |
+///            + lambda_2 * mean_valid(|m_t - m_{t-1}|)
+///
+/// evaluated on the *soft* selection probabilities (the standard relaxation
+/// — hard masks have zero gradient). `valid` masks padding out of both
+/// terms; means are over valid positions across the whole batch.
+ag::Variable SparsityCoherencePenalty(const nn::GumbelMask& mask,
+                                      const Tensor& valid,
+                                      const TrainConfig& config);
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_REGULARIZER_H_

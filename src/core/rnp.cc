@@ -1,0 +1,16 @@
+#include "core/rnp.h"
+
+#include <utility>
+
+namespace dar {
+namespace core {
+
+RnpModel::RnpModel(Tensor embeddings, TrainConfig config)
+    : RationalizerBase(std::move(embeddings), config, "RNP") {}
+
+ag::Variable RnpModel::TrainLoss(const data::Batch& batch) {
+  return RnpCoreLoss(batch, /*mask_out=*/nullptr);
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,26 @@
+// RNP — Rationalizing Neural Predictions (Lei et al., 2016).
+//
+// The vanilla cooperative game (eq. 2): the generator selects a rationale,
+// the predictor classifies it, and both minimize the prediction
+// cross-entropy plus the short-and-coherent regularizer (eq. 3). This is
+// the framework the paper diagnoses with rationale shift.
+#ifndef DAR_CORE_RNP_H_
+#define DAR_CORE_RNP_H_
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// The vanilla RNP model.
+class RnpModel : public RationalizerBase {
+ public:
+  RnpModel(Tensor embeddings, TrainConfig config);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_RNP_H_

@@ -1,0 +1,83 @@
+// Sentence-level rationale selection.
+//
+// The paper's Table II quotes RNP* and A2R* rows with "os" (one sentence)
+// selection: instead of a free token mask, the generator picks exactly one
+// sentence as the rationale (the original A2R protocol on BeerAdvocate,
+// whose annotations are sentence-level). This module provides:
+//
+//   * sentence segmentation of padded batches (split on the period token),
+//   * a straight-through categorical sentence sampler built on the token
+//     generator's logits (sentence score = mean token score), and
+//   * SentenceRnpModel / SentenceA2rModel, the starred baselines.
+#ifndef DAR_CORE_SENTENCE_LEVEL_H_
+#define DAR_CORE_SENTENCE_LEVEL_H_
+
+#include <vector>
+
+#include "core/rationalizer.h"
+
+namespace dar {
+namespace core {
+
+/// Half-open token span [begin, end) of one sentence.
+struct SentenceSpan {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Segments each example of a batch into sentences: a sentence ends at a
+/// `period_id` token (inclusive) or at the last valid token. Every valid
+/// token belongs to exactly one span.
+std::vector<std::vector<SentenceSpan>> SegmentSentences(
+    const data::Batch& batch, int64_t period_id);
+
+/// Samples a one-sentence rationale mask from per-token selection logits.
+///
+/// Sentence scores are the mean of their tokens' logits; training mode
+/// perturbs scores with Gumbel noise (categorical Gumbel-max) and the hard
+/// one-sentence token mask passes gradients straight through to the soft
+/// sentence distribution; eval mode picks the argmax sentence.
+nn::GumbelMask SampleOneSentenceMask(
+    const ag::Variable& token_logits,
+    const std::vector<std::vector<SentenceSpan>>& sentences,
+    const Tensor& valid, float tau, bool training, Pcg32& rng);
+
+/// RNP with one-sentence selection (the paper's RNP* protocol).
+class SentenceRnpModel : public RationalizerBase {
+ public:
+  SentenceRnpModel(Tensor embeddings, TrainConfig config, int64_t period_id);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  Tensor EvalMask(const data::Batch& batch) override;
+
+ protected:
+  /// Shared by the A2R variant: sample mask + predictor CE (no Omega —
+  /// the one-sentence constraint already fixes sparsity and coherence).
+  ag::Variable SentenceCoreLoss(const data::Batch& batch,
+                                nn::GumbelMask* mask_out,
+                                ag::Variable* logits_out);
+
+  int64_t period_id_;
+};
+
+/// A2R with one-sentence selection (the paper's A2R* protocol): the
+/// auxiliary predictor reads the input weighted by the *soft* sentence
+/// distribution, tied to the hard-path predictor by JS divergence.
+class SentenceA2rModel : public SentenceRnpModel {
+ public:
+  SentenceA2rModel(Tensor embeddings, TrainConfig config, int64_t period_id);
+
+  ag::Variable TrainLoss(const data::Batch& batch) override;
+  std::vector<ag::Variable> TrainableParameters() const override;
+  void SetTraining(bool training) override;
+  int64_t NumModules() const override { return 3; }
+  int64_t TotalParameters() const override;
+
+ private:
+  Predictor soft_predictor_;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_SENTENCE_LEVEL_H_

@@ -1,0 +1,106 @@
+#include "core/skew.h"
+
+#include "core/trainer.h"
+#include "data/dataloader.h"
+#include "nn/loss.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace core {
+
+Tensor FirstSentenceMask(const data::Batch& batch, int64_t period_id) {
+  int64_t b = batch.batch_size(), t = batch.max_len();
+  Tensor mask(Shape{b, t});
+  for (int64_t i = 0; i < b; ++i) {
+    bool ended = false;
+    for (int64_t j = 0; j < t; ++j) {
+      if (ended || batch.valid.at(i, j) == 0.0f) break;
+      mask.at(i, j) = 1.0f;
+      if (batch.tokens[static_cast<size_t>(i)][static_cast<size_t>(j)] ==
+          period_id) {
+        ended = true;
+      }
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+/// Context for the first-sentence MaskFn.
+struct FirstSentenceCtx {
+  int64_t period_id;
+};
+
+Tensor FirstSentenceMaskFn(const data::Batch& batch, const void* ctx) {
+  const auto* fs = static_cast<const FirstSentenceCtx*>(ctx);
+  return FirstSentenceMask(batch, fs->period_id);
+}
+
+}  // namespace
+
+float SkewPredictorPretrain(Predictor& predictor,
+                            const datasets::SyntheticDataset& dataset,
+                            int64_t epochs, Pcg32& rng, int64_t batch_size,
+                            float lr) {
+  FirstSentenceCtx ctx{dataset.vocab.IdOrUnk(".")};
+  return FitPredictorWithMask(predictor, dataset, epochs, batch_size, lr, rng,
+                              &FirstSentenceMaskFn, &ctx);
+}
+
+float SkewGeneratorPretrain(Generator& generator,
+                            const datasets::SyntheticDataset& dataset,
+                            float accuracy_threshold, Pcg32& rng,
+                            int64_t max_epochs, int64_t batch_size, float lr) {
+  DAR_CHECK(accuracy_threshold > 0.0f && accuracy_threshold <= 1.0f);
+  std::vector<ag::Variable> params;
+  for (const nn::NamedParameter& p : generator.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  optim::Adam adam(params, {.lr = lr});
+  data::DataLoader loader(dataset.train, batch_size, /*shuffle=*/true);
+
+  float accuracy = 0.0f;
+  generator.SetTraining(true);
+  for (int64_t epoch = 0; epoch < max_epochs && accuracy < accuracy_threshold;
+       ++epoch) {
+    int64_t correct = 0, total = 0;
+    for (const data::Batch& batch : loader.Epoch(rng)) {
+      adam.ZeroGrad();
+      ag::Variable logits = generator.SelectionLogits(batch);
+      ag::Variable p0 = ag::Sigmoid(ag::PickColumns(
+          logits, std::vector<int64_t>(static_cast<size_t>(batch.batch_size()),
+                                       0)));
+      // BCE against the class label as the token-0 selection target.
+      Tensor y(Shape{batch.batch_size()});
+      for (int64_t i = 0; i < batch.batch_size(); ++i) {
+        y.at(i) = static_cast<float>(batch.labels[static_cast<size_t>(i)]);
+      }
+      ag::Variable yv = ag::Variable::Constant(y);
+      ag::Variable one_minus_y = ag::Variable::Constant(
+          Map(y, [](float v) { return 1.0f - v; }));
+      ag::Variable bce = ag::Neg(ag::Mean(ag::Add(
+          ag::Mul(yv, ag::Log(p0)),
+          ag::Mul(one_minus_y, ag::Log(ag::AddScalar(ag::Neg(p0), 1.0f))))));
+      bce.Backward();
+      optim::ClipGradNorm(params, 5.0f);
+      adam.Step();
+
+      for (int64_t i = 0; i < batch.batch_size(); ++i) {
+        bool selected = p0.value().at(i) > 0.5f;
+        if (selected == (batch.labels[static_cast<size_t>(i)] == 1)) ++correct;
+      }
+      total += batch.batch_size();
+    }
+    accuracy = total > 0
+                   ? static_cast<float>(correct) / static_cast<float>(total)
+                   : 0.0f;
+  }
+  return accuracy;
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,44 @@
+// Skewed initializations for the synthetic rationale-shift settings
+// (paper Section V-C, Tables VII and VIII).
+#ifndef DAR_CORE_SKEW_H_
+#define DAR_CORE_SKEW_H_
+
+#include <cstdint>
+
+#include "core/generator.h"
+#include "core/predictor.h"
+#include "datasets/synthetic_review.h"
+
+namespace dar {
+namespace core {
+
+/// Mask selecting only each example's first sentence (tokens up to and
+/// including the first `period_id`).
+Tensor FirstSentenceMask(const data::Batch& batch, int64_t period_id);
+
+/// Skewed-predictor setting (Table VII): pretrains `predictor` for
+/// `epochs` epochs using only the first sentence of each input. In
+/// BeerAdvocate the first sentence is about appearance, so on Aroma/Palate
+/// the predictor overfits an uninformative aspect — the "interlocking"
+/// obstacle of A2R. Batch size 500 / lr 1e-3 match the paper's protocol.
+/// Returns the predictor's dev accuracy under the first-sentence mask.
+float SkewPredictorPretrain(Predictor& predictor,
+                            const datasets::SyntheticDataset& dataset,
+                            int64_t epochs, Pcg32& rng,
+                            int64_t batch_size = 500, float lr = 1e-3f);
+
+/// Skewed-generator setting (Table VIII): pretrains `generator` so that
+/// its selection of the *first token* leaks the label (select token 0 for
+/// class 1, deselect for class 0), stopping once that degenerate
+/// "classifier" reaches `accuracy_threshold` on the training set. Returns
+/// the achieved accuracy (the paper's Pre_acc).
+float SkewGeneratorPretrain(Generator& generator,
+                            const datasets::SyntheticDataset& dataset,
+                            float accuracy_threshold, Pcg32& rng,
+                            int64_t max_epochs = 50, int64_t batch_size = 128,
+                            float lr = 1e-3f);
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_SKEW_H_

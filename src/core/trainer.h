@@ -1,0 +1,65 @@
+// Training loops: the rationalization game and full-text pretraining.
+#ifndef DAR_CORE_TRAINER_H_
+#define DAR_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/rationalizer.h"
+#include "datasets/synthetic_review.h"
+
+namespace dar {
+namespace core {
+
+/// Per-epoch training statistics.
+struct EpochStats {
+  float train_loss = 0.0f;
+  /// Dev-set accuracy of the predictor on the selected rationale — the
+  /// paper's early-stopping criterion.
+  float dev_acc = 0.0f;
+};
+
+/// Result of Fit().
+struct TrainRun {
+  std::vector<EpochStats> epochs;
+  int64_t best_epoch = -1;
+  float best_dev_acc = 0.0f;
+};
+
+/// Trains a rationalization model: Prepare() (method-specific pretraining),
+/// then `config.epochs` epochs of Adam on TrainLoss with gradient clipping,
+/// early "stopping" by snapshot — the parameters from the best-dev-accuracy
+/// epoch are restored at the end (the paper's protocol, Appendix B).
+TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
+             bool verbose = false);
+
+/// Pretrains `predictor` to classify with a fixed mask policy. Used for
+/// DAR's predictor^t (full-text mask), the skewed-predictor setting
+/// (first-sentence mask), and the Table VI transformer warm-up.
+///
+/// `mask_fn` maps a batch to the constant input mask; pass nullptr for the
+/// full-text (validity) mask. Returns the final dev accuracy under the same
+/// mask policy.
+using MaskFn = Tensor (*)(const data::Batch&, const void* ctx);
+float FitPredictorWithMask(Predictor& predictor,
+                           const datasets::SyntheticDataset& dataset,
+                           int64_t epochs, int64_t batch_size, float lr,
+                           Pcg32& rng, MaskFn mask_fn = nullptr,
+                           const void* mask_ctx = nullptr);
+
+/// Convenience wrapper: full-text pretraining (eq. 4).
+float FitFullTextPredictor(Predictor& predictor,
+                           const datasets::SyntheticDataset& dataset,
+                           int64_t epochs, int64_t batch_size, float lr,
+                           Pcg32& rng);
+
+/// Dev/test accuracy of `model`'s predictor with deterministic rationales.
+float EvaluateRationaleAccuracy(RationalizerBase& model,
+                                const std::vector<data::Example>& examples,
+                                int64_t batch_size);
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_TRAINER_H_

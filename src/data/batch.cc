@@ -1,0 +1,49 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace data {
+
+Batch Batch::FromExamples(const std::vector<Example>& examples, size_t first,
+                          size_t count, int64_t pad_id) {
+  DAR_CHECK_GT(count, 0u);
+  DAR_CHECK_LE(first + count, examples.size());
+
+  int64_t max_len = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    max_len = std::max(max_len,
+                       static_cast<int64_t>(examples[i].tokens.size()));
+  }
+  DAR_CHECK_GT(max_len, 0);
+
+  Batch batch;
+  batch.valid = Tensor(Shape{static_cast<int64_t>(count), max_len});
+  batch.tokens.reserve(count);
+  batch.labels.reserve(count);
+  batch.rationales.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Example& ex = examples[first + i];
+    std::vector<int64_t> padded(static_cast<size_t>(max_len), pad_id);
+    std::copy(ex.tokens.begin(), ex.tokens.end(), padded.begin());
+    for (size_t t = 0; t < ex.tokens.size(); ++t) {
+      batch.valid.at(static_cast<int64_t>(i), static_cast<int64_t>(t)) = 1.0f;
+    }
+    batch.tokens.push_back(std::move(padded));
+    batch.labels.push_back(ex.label);
+
+    std::vector<uint8_t> rat;
+    if (!ex.rationale.empty()) {
+      DAR_CHECK_EQ(ex.rationale.size(), ex.tokens.size());
+      rat.assign(static_cast<size_t>(max_len), 0);
+      std::copy(ex.rationale.begin(), ex.rationale.end(), rat.begin());
+    }
+    batch.rationales.push_back(std::move(rat));
+  }
+  return batch;
+}
+
+}  // namespace data
+}  // namespace dar

@@ -1,0 +1,51 @@
+// Labeled examples and padded mini-batches.
+#ifndef DAR_DATA_BATCH_H_
+#define DAR_DATA_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace data {
+
+/// One labeled, optionally rationale-annotated text example.
+struct Example {
+  /// Token ids.
+  std::vector<int64_t> tokens;
+  /// Class label in [0, num_classes).
+  int64_t label = 0;
+  /// Gold rationale mask aligned with `tokens` (1 = rationale token).
+  /// Empty when the split carries no annotations (the paper's datasets are
+  /// annotated on the test set only).
+  std::vector<uint8_t> rationale;
+};
+
+/// A right-padded mini-batch.
+struct Batch {
+  /// Padded token ids, [B][T] (pad id fills the tail).
+  std::vector<std::vector<int64_t>> tokens;
+  /// Validity mask [B, T]: 1 for real tokens, 0 for padding.
+  Tensor valid;
+  /// Labels, length B.
+  std::vector<int64_t> labels;
+  /// Gold rationale masks padded with 0, [B][T]; empty inner vectors when
+  /// the example had no annotation.
+  std::vector<std::vector<uint8_t>> rationales;
+
+  int64_t batch_size() const { return static_cast<int64_t>(tokens.size()); }
+  int64_t max_len() const {
+    return tokens.empty() ? 0 : static_cast<int64_t>(tokens[0].size());
+  }
+
+  /// Builds a batch from `examples[first, first + count)`, padding every
+  /// sequence to the longest one with `pad_id`.
+  static Batch FromExamples(const std::vector<Example>& examples, size_t first,
+                            size_t count, int64_t pad_id);
+};
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_BATCH_H_

@@ -1,0 +1,144 @@
+#include "data/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/tokenizer.h"
+
+namespace dar {
+namespace data {
+
+namespace {
+
+/// Splits a line on tab characters.
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::string LineError(size_t line_number, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line_number << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+CorpusLoadResult ParseCorpus(const std::string& text, Vocabulary& vocab,
+                             bool grow_vocabulary) {
+  CorpusLoadResult result;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() < 2 || fields.size() > 3) {
+      result.error = LineError(line_number, "expected 2 or 3 tab-separated "
+                                            "fields");
+      return result;
+    }
+
+    Example example;
+    {
+      char* end = nullptr;
+      long label = std::strtol(fields[0].c_str(), &end, 10);
+      if (end == fields[0].c_str() || *end != '\0' || label < 0) {
+        result.error = LineError(line_number, "label is not a non-negative "
+                                              "integer");
+        return result;
+      }
+      example.label = label;
+    }
+
+    std::vector<std::string> tokens = Tokenize(fields[1]);
+    if (tokens.empty()) {
+      result.error = LineError(line_number, "example has no tokens");
+      return result;
+    }
+    for (const std::string& token : tokens) {
+      example.tokens.push_back(grow_vocabulary ? vocab.AddToken(token)
+                                               : vocab.IdOrUnk(token));
+    }
+
+    if (fields.size() == 3) {
+      const std::string& bits = fields[2];
+      if (bits.size() != tokens.size()) {
+        result.error = LineError(
+            line_number, "rationale bit-string length does not match token "
+                         "count");
+        return result;
+      }
+      for (char bit : bits) {
+        if (bit != '0' && bit != '1') {
+          result.error =
+              LineError(line_number, "rationale field contains a character "
+                                     "other than '0'/'1'");
+          return result;
+        }
+        example.rationale.push_back(bit == '1' ? 1 : 0);
+      }
+    }
+    result.examples.push_back(std::move(example));
+  }
+  result.ok = true;
+  return result;
+}
+
+CorpusLoadResult LoadCorpusFile(const std::string& path, Vocabulary& vocab,
+                                bool grow_vocabulary) {
+  std::ifstream file(path);
+  if (!file) {
+    CorpusLoadResult result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCorpus(buffer.str(), vocab, grow_vocabulary);
+}
+
+std::string FormatCorpus(const std::vector<Example>& examples,
+                         const Vocabulary& vocab) {
+  std::ostringstream os;
+  os << "# <label>\\t<tokens>[\\t<rationale bits>]\n";
+  for (const Example& example : examples) {
+    os << example.label << '\t';
+    for (size_t i = 0; i < example.tokens.size(); ++i) {
+      if (i) os << ' ';
+      os << vocab.Token(example.tokens[i]);
+    }
+    if (!example.rationale.empty()) {
+      os << '\t';
+      for (uint8_t bit : example.rationale) os << (bit ? '1' : '0');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool SaveCorpusFile(const std::string& path,
+                    const std::vector<Example>& examples,
+                    const Vocabulary& vocab) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << FormatCorpus(examples, vocab);
+  return static_cast<bool>(file);
+}
+
+}  // namespace data
+}  // namespace dar

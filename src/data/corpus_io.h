@@ -1,0 +1,55 @@
+// Plain-text corpus serialization.
+//
+// Lets users run the library on *real* annotated corpora (e.g. their own
+// copies of BeerAdvocate / HotelReview) instead of the synthetic
+// analogues. The format is one example per line:
+//
+//   <label> <TAB> <space-separated tokens> [<TAB> <rationale bits>]
+//
+// where the optional third field is a string of '0'/'1' characters, one
+// per token (the paper's datasets annotate the test split only). Lines
+// starting with '#' and blank lines are skipped.
+#ifndef DAR_DATA_CORPUS_IO_H_
+#define DAR_DATA_CORPUS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/vocabulary.h"
+
+namespace dar {
+namespace data {
+
+/// Result of parsing a corpus file.
+struct CorpusLoadResult {
+  bool ok = false;
+  /// Human-readable reason when !ok ("line 17: label not an integer").
+  std::string error;
+  std::vector<Example> examples;
+};
+
+/// Parses corpus text (see file-format comment above). Tokens absent from
+/// `vocab` are added when `grow_vocabulary` is true and mapped to <unk>
+/// otherwise.
+CorpusLoadResult ParseCorpus(const std::string& text, Vocabulary& vocab,
+                             bool grow_vocabulary);
+
+/// Reads and parses a corpus file. Returns ok=false with an error message
+/// if the file cannot be read or any line is malformed.
+CorpusLoadResult LoadCorpusFile(const std::string& path, Vocabulary& vocab,
+                                bool grow_vocabulary);
+
+/// Serializes examples to the corpus format (inverse of ParseCorpus).
+std::string FormatCorpus(const std::vector<Example>& examples,
+                         const Vocabulary& vocab);
+
+/// Writes examples to `path`. Returns false on I/O failure.
+bool SaveCorpusFile(const std::string& path,
+                    const std::vector<Example>& examples,
+                    const Vocabulary& vocab);
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_CORPUS_IO_H_

@@ -1,0 +1,42 @@
+#include "data/dataloader.h"
+
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace data {
+
+DataLoader::DataLoader(std::vector<Example> examples, int64_t batch_size,
+                       bool shuffle, int64_t pad_id)
+    : examples_(std::move(examples)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      pad_id_(pad_id) {
+  DAR_CHECK_GT(batch_size, 0);
+  DAR_CHECK(!examples_.empty());
+}
+
+std::vector<Batch> DataLoader::Epoch(Pcg32& rng) {
+  if (shuffle_) {
+    // Fisher–Yates with our deterministic RNG.
+    for (size_t i = examples_.size() - 1; i > 0; --i) {
+      size_t j = rng.Below(static_cast<uint32_t>(i + 1));
+      std::swap(examples_[i], examples_[j]);
+    }
+  }
+  return Sequential();
+}
+
+std::vector<Batch> DataLoader::Sequential() const {
+  std::vector<Batch> batches;
+  size_t n = examples_.size();
+  for (size_t first = 0; first < n; first += static_cast<size_t>(batch_size_)) {
+    size_t count = std::min(static_cast<size_t>(batch_size_), n - first);
+    batches.push_back(Batch::FromExamples(examples_, first, count, pad_id_));
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace dar

@@ -1,0 +1,42 @@
+// Shuffled mini-batch iteration over a dataset.
+#ifndef DAR_DATA_DATALOADER_H_
+#define DAR_DATA_DATALOADER_H_
+
+#include <vector>
+
+#include "data/batch.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace data {
+
+/// Produces padded mini-batches from an in-memory dataset.
+///
+/// Epoch() reshuffles (when enabled) and materializes the epoch's batches;
+/// the final short batch is kept.
+class DataLoader {
+ public:
+  DataLoader(std::vector<Example> examples, int64_t batch_size, bool shuffle,
+             int64_t pad_id = 0);
+
+  /// Batches for one epoch, in (re)shuffled order.
+  std::vector<Batch> Epoch(Pcg32& rng);
+
+  /// All examples as one batch per `batch_size` slice, unshuffled.
+  /// Used for deterministic evaluation passes.
+  std::vector<Batch> Sequential() const;
+
+  int64_t num_examples() const { return static_cast<int64_t>(examples_.size()); }
+  const std::vector<Example>& examples() const { return examples_; }
+
+ private:
+  std::vector<Example> examples_;
+  int64_t batch_size_;
+  bool shuffle_;
+  int64_t pad_id_;
+};
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_DATALOADER_H_

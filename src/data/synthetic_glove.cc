@@ -1,0 +1,45 @@
+#include "data/synthetic_glove.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace data {
+
+Tensor BuildSyntheticGlove(const std::vector<int32_t>& family,
+                           const SyntheticGloveConfig& config, Pcg32& rng) {
+  int64_t vocab = static_cast<int64_t>(family.size());
+  DAR_CHECK_GT(vocab, 0);
+  DAR_CHECK_GT(config.dim, 0);
+
+  // One shared center per family id, drawn lazily in family-id order so the
+  // table depends only on (family, config, seed).
+  int32_t max_family = -1;
+  for (int32_t f : family) max_family = std::max(max_family, f);
+  std::vector<Tensor> centers;
+  centers.reserve(static_cast<size_t>(max_family + 1));
+  for (int32_t f = 0; f <= max_family; ++f) {
+    centers.push_back(
+        Tensor::Randn(Shape{config.dim}, rng, config.center_scale));
+  }
+
+  Tensor table(Shape{vocab, config.dim});
+  for (int64_t id = 0; id < vocab; ++id) {
+    if (id == 0) continue;  // <pad> stays zero.
+    int32_t f = family[static_cast<size_t>(id)];
+    for (int64_t j = 0; j < config.dim; ++j) {
+      if (f >= 0) {
+        table.at(id, j) = centers[static_cast<size_t>(f)].at(j) +
+                          rng.Normal(0.0f, config.noise_scale);
+      } else {
+        table.at(id, j) = rng.Normal(0.0f, config.isotropic_scale);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace data
+}  // namespace dar

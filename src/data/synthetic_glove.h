@@ -1,0 +1,40 @@
+// Synthetic pretrained word embeddings.
+//
+// Stands in for the GloVe 100-d vectors the paper uses. What the pipeline
+// actually relies on is that semantically related tokens start *clustered*
+// in embedding space; this module reproduces exactly that: tokens sharing a
+// semantic family id are placed around a common center with small noise,
+// and family-less tokens are spread isotropically.
+#ifndef DAR_DATA_SYNTHETIC_GLOVE_H_
+#define DAR_DATA_SYNTHETIC_GLOVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace data {
+
+/// Configuration for the synthetic embedding table.
+struct SyntheticGloveConfig {
+  int64_t dim = 32;
+  /// Spread of family cluster centers.
+  float center_scale = 1.0f;
+  /// Within-family noise (smaller = tighter clusters).
+  float noise_scale = 0.25f;
+  /// Scale for tokens without a family (family id < 0).
+  float isotropic_scale = 0.6f;
+};
+
+/// Builds a [vocab, dim] embedding table. `family` has one entry per vocab
+/// id: non-negative values group tokens into clusters; negative values mean
+/// "no family" (filler words, punctuation). The pad row (id 0) is zero.
+Tensor BuildSyntheticGlove(const std::vector<int32_t>& family,
+                           const SyntheticGloveConfig& config, Pcg32& rng);
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_SYNTHETIC_GLOVE_H_

@@ -1,0 +1,42 @@
+#include "data/tokenizer.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace dar {
+namespace data {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::vector<int64_t> Encode(const std::string& text, const Vocabulary& vocab) {
+  std::vector<int64_t> ids;
+  for (const std::string& tok : Tokenize(text)) ids.push_back(vocab.IdOrUnk(tok));
+  return ids;
+}
+
+std::string Decode(const std::vector<int64_t>& ids, const Vocabulary& vocab) {
+  std::ostringstream os;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ' ';
+    os << vocab.Token(ids[i]);
+  }
+  return os.str();
+}
+
+}  // namespace data
+}  // namespace dar

@@ -1,0 +1,25 @@
+// Whitespace tokenizer.
+#ifndef DAR_DATA_TOKENIZER_H_
+#define DAR_DATA_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/vocabulary.h"
+
+namespace dar {
+namespace data {
+
+/// Splits `text` on runs of ASCII whitespace.
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Tokenizes and maps to ids (<unk> for out-of-vocabulary tokens).
+std::vector<int64_t> Encode(const std::string& text, const Vocabulary& vocab);
+
+/// Joins ids back into a space-separated string (debugging / examples).
+std::string Decode(const std::vector<int64_t>& ids, const Vocabulary& vocab);
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_TOKENIZER_H_

@@ -1,0 +1,39 @@
+#include "data/vocabulary.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace data {
+
+Vocabulary::Vocabulary() {
+  AddToken("<pad>");
+  AddToken("<unk>");
+}
+
+int64_t Vocabulary::AddToken(const std::string& token) {
+  auto it = map_.find(token);
+  if (it != map_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(tokens_.size());
+  tokens_.push_back(token);
+  map_.emplace(token, id);
+  return id;
+}
+
+int64_t Vocabulary::IdOrUnk(const std::string& token) const {
+  auto it = map_.find(token);
+  return it == map_.end() ? kUnkId : it->second;
+}
+
+std::optional<int64_t> Vocabulary::TryId(const std::string& token) const {
+  auto it = map_.find(token);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::Token(int64_t id) const {
+  DAR_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+}  // namespace data
+}  // namespace dar

@@ -1,0 +1,50 @@
+// Token vocabulary.
+#ifndef DAR_DATA_VOCABULARY_H_
+#define DAR_DATA_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dar {
+namespace data {
+
+/// Bidirectional token <-> id map with reserved <pad> (id 0) and <unk>
+/// (id 1) entries.
+class Vocabulary {
+ public:
+  static constexpr int64_t kPadId = 0;
+  static constexpr int64_t kUnkId = 1;
+
+  Vocabulary();
+
+  /// Adds `token` if absent; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId if unknown.
+  int64_t IdOrUnk(const std::string& token) const;
+
+  /// Id of `token` if present.
+  std::optional<int64_t> TryId(const std::string& token) const;
+
+  /// Token string for `id`. `id` must be in range.
+  const std::string& Token(int64_t id) const;
+
+  /// Number of tokens including <pad> and <unk>.
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  bool Contains(const std::string& token) const {
+    return map_.count(token) > 0;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> map_;
+};
+
+}  // namespace data
+}  // namespace dar
+
+#endif  // DAR_DATA_VOCABULARY_H_

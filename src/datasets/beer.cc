@@ -1,0 +1,61 @@
+#include "datasets/beer.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace datasets {
+
+ReviewConfig BeerReviewConfig(BeerAspect aspect, float shortcut_strength) {
+  ReviewConfig config;
+  config.aspects = BeerAspects();
+  config.target_aspect = static_cast<int>(aspect);
+  // Lei et al.'s "decorrelated" subsets still retain residual correlation
+  // between aspect sentiments; 0.5 reproduces that regime.
+  config.aspect_correlation = 0.5f;
+  config.shortcut_strength = shortcut_strength;
+  // Annotation sparsity targets (Table IX): appearance 18.5%, aroma 15.6%,
+  // palate 12.4%. Sentences average ~10 tokens over 5 aspects; annotating
+  // sentiment+neutral tokens of the target sentence lands near these
+  // levels, with per-aspect sentiment-token counts fine-tuning the rate.
+  switch (aspect) {
+    case BeerAspect::kAppearance:
+      config.min_sentiment_tokens = 3;
+      config.max_sentiment_tokens = 4;
+      config.annotate_neutral = true;
+      break;
+    case BeerAspect::kAroma:
+      config.min_sentiment_tokens = 2;
+      config.max_sentiment_tokens = 4;
+      config.annotate_neutral = true;
+      break;
+    case BeerAspect::kPalate:
+      config.min_sentiment_tokens = 2;
+      config.max_sentiment_tokens = 3;
+      config.annotate_neutral = true;
+      break;
+  }
+  return config;
+}
+
+SyntheticDataset MakeBeerDataset(BeerAspect aspect, const SplitSizes& sizes,
+                                 uint64_t seed, float shortcut_strength) {
+  SyntheticReviewGenerator generator(BeerReviewConfig(aspect, shortcut_strength),
+                                     seed);
+  return generator.Generate(sizes.train, sizes.dev, sizes.test);
+}
+
+std::string BeerAspectName(BeerAspect aspect) {
+  switch (aspect) {
+    case BeerAspect::kAppearance:
+      return "Appearance";
+    case BeerAspect::kAroma:
+      return "Aroma";
+    case BeerAspect::kPalate:
+      return "Palate";
+  }
+  DAR_CHECK_MSG(false, "unknown beer aspect");
+  return "";
+}
+
+}  // namespace datasets
+}  // namespace dar

@@ -1,0 +1,43 @@
+// BeerAdvocate-analogue dataset construction.
+#ifndef DAR_DATASETS_BEER_H_
+#define DAR_DATASETS_BEER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datasets/synthetic_review.h"
+
+namespace dar {
+namespace datasets {
+
+/// The three evaluated beer aspects (paper Tables II, V, VII).
+enum class BeerAspect : int { kAppearance = 0, kAroma = 1, kPalate = 2 };
+
+/// Split sizes. Defaults are scaled-down but proportionate stand-ins for
+/// the paper's Table IX counts; benches shrink them further in quick mode.
+struct SplitSizes {
+  int64_t train = 2000;
+  int64_t dev = 400;
+  int64_t test = 400;
+};
+
+/// Returns the generator config for a beer aspect.
+///
+/// `shortcut_strength` injects the label-correlated "-" token (0 disables);
+/// the standard benchmark uses 0.7 so that collusion is
+/// available but not dominant — mirroring how the real BeerAdvocate text
+/// offers RNP trivial-but-distinguishable patterns to latch onto.
+ReviewConfig BeerReviewConfig(BeerAspect aspect,
+                              float shortcut_strength = 0.7f);
+
+/// Builds the synthetic BeerAdvocate-analogue for one aspect.
+SyntheticDataset MakeBeerDataset(BeerAspect aspect, const SplitSizes& sizes,
+                                 uint64_t seed, float shortcut_strength = 0.7f);
+
+/// Human-readable aspect name ("Appearance").
+std::string BeerAspectName(BeerAspect aspect);
+
+}  // namespace datasets
+}  // namespace dar
+
+#endif  // DAR_DATASETS_BEER_H_

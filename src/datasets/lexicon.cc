@@ -1,0 +1,123 @@
+#include "datasets/lexicon.h"
+
+namespace dar {
+namespace datasets {
+
+namespace {
+
+// Function-local static references (never destroyed) keep these collections
+// safe under the no-nontrivial-global-destructor rule.
+
+const std::vector<AspectLexicon>& BuildBeerAspects() {
+  static const auto& aspects = *new std::vector<AspectLexicon>{
+      {"appearance",
+       {"golden", "clear", "sparkling", "creamy", "radiant", "bright",
+        "inviting", "gorgeous", "glossy", "luminous", "amber", "brilliant"},
+       {"murky", "cloudy", "dull", "pale", "lifeless", "muddy", "drab",
+        "hazy", "ugly", "greyish", "flat", "abysmal"},
+       {"head", "color", "pour", "glass", "lacing", "hue", "foam",
+        "appearance", "retention"}},
+      {"aroma",
+       {"fragrant", "citrusy", "floral", "fresh", "aromatic", "honeyed",
+        "spicy", "perfumed", "zesty", "piney", "fruity", "toasty"},
+       {"stale", "musty", "skunky", "rancid", "metallic", "faint",
+        "cardboard", "moldy", "acrid", "sulfuric", "soapy", "grainy"},
+       {"aroma", "smell", "nose", "scent", "whiff", "bouquet", "notes"}},
+      {"palate",
+       {"smooth", "velvety", "crisp", "balanced", "rich", "rounded", "silky",
+        "lively", "refreshing", "luscious", "plush", "satisfying"},
+       {"watery", "harsh", "thin", "astringent", "chalky", "cloying",
+        "rough", "bland", "fizzy", "syrupy", "coarse", "sharp"},
+       {"palate", "mouthfeel", "body", "carbonation", "texture", "finish"}},
+      {"taste",
+       {"delicious", "tasty", "flavorful", "malty", "hoppy", "caramelly"},
+       {"sour", "burnt", "gross", "vinegary", "bitter", "medicinal"},
+       {"taste", "flavor", "aftertaste", "sweetness"}},
+      {"overall",
+       {"excellent", "great", "awesome", "superb", "recommend", "wonderful"},
+       {"terrible", "awful", "disappointing", "bad", "avoid", "mediocre"},
+       {"overall", "verdict", "impression", "value"}}};
+  return aspects;
+}
+
+const std::vector<AspectLexicon>& BuildHotelAspects() {
+  static const auto& aspects = *new std::vector<AspectLexicon>{
+      {"location",
+       {"central", "convenient", "walkable", "scenic", "accessible", "prime",
+        "quiet", "charming", "ideal", "perfect-spot"},
+       {"remote", "sketchy", "isolated", "inconvenient", "far", "dodgy",
+        "loud", "industrial", "desolate", "awkward"},
+       {"location", "area", "neighborhood", "distance", "station",
+        "downtown", "street", "subway"}},
+      {"service",
+       {"friendly", "attentive", "helpful", "courteous", "prompt",
+        "welcoming", "gracious", "efficient", "accommodating", "warm"},
+       {"rude", "slow", "dismissive", "unhelpful", "surly", "neglectful",
+        "indifferent", "hostile", "incompetent", "curt"},
+       {"service", "staff", "reception", "concierge", "checkin", "front-desk",
+        "manager", "porter"}},
+      {"cleanliness",
+       {"spotless", "immaculate", "tidy", "pristine", "sanitized",
+        "gleaming", "scrubbed", "polished", "hygienic", "laundered"},
+       {"dirty", "stained", "dusty", "grimy", "smelly", "moldy", "sticky",
+        "filthy", "soiled", "dingy"},
+       {"room", "bathroom", "sheets", "carpet", "towels", "housekeeping",
+        "linens", "shower"}},
+      {"breakfast",
+       {"generous", "fresh-baked", "varied", "plentiful", "hot", "hearty"},
+       {"meager", "cold", "repetitive", "overpriced", "soggy", "scarce"},
+       {"breakfast", "buffet", "coffee", "pastries"}},
+      {"amenities",
+       {"modern", "spacious", "comfortable", "luxurious", "well-equipped",
+        "cozy"},
+       {"outdated", "cramped", "broken", "noisy", "tiny", "shabby"},
+       {"amenities", "pool", "gym", "wifi", "elevator", "parking"}}};
+  return aspects;
+}
+
+}  // namespace
+
+const std::vector<AspectLexicon>& BeerAspects() {
+  static const auto& aspects = BuildBeerAspects();
+  return aspects;
+}
+
+const std::vector<AspectLexicon>& HotelAspects() {
+  static const auto& aspects = BuildHotelAspects();
+  return aspects;
+}
+
+const std::vector<std::string>& FillerTokens() {
+  static const auto& fillers = *new std::vector<std::string>{
+      "the",   "a",     "is",    "was",    "very",  "quite",  "with",
+      "and",   "but",   "really", "i",     "we",    "it",     "had",
+      "this",  "that",  "there", "some",   "of",    "to",     "in",
+      "for",   "on",    "my",    "our",    "again", "also",   "just",
+      "bit",   "one",   "two",   "night",  "day",   "time",   "place",
+      "thing", "got",   "went",  "came",   "looked", "seemed", "felt",
+      "stayed", "tried", "little", "much",  "more",  "while",  "when",
+      "here"};
+  return fillers;
+}
+
+const std::vector<std::string>& GenericPositiveTokens() {
+  static const auto& tokens = *new std::vector<std::string>{
+      "good", "great", "nice", "pleasant", "fine", "solid", "lovely",
+      "impressive"};
+  return tokens;
+}
+
+const std::vector<std::string>& GenericNegativeTokens() {
+  static const auto& tokens = *new std::vector<std::string>{
+      "bad", "poor", "awful", "unpleasant", "weak", "lousy", "horrible",
+      "subpar"};
+  return tokens;
+}
+
+const std::vector<std::string>& PunctuationTokens() {
+  static const auto& punct = *new std::vector<std::string>{".", ",", "!", "-", ";"};
+  return punct;
+}
+
+}  // namespace datasets
+}  // namespace dar

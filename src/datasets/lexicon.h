@@ -1,0 +1,54 @@
+// Aspect lexicons for the synthetic review generator.
+//
+// Each aspect owns three token groups: polarity-bearing positive/negative
+// words (the causal signal for that aspect's label, and the core of the
+// gold rationale) and neutral aspect words (topic markers like "head" or
+// "reception" that locate the aspect's sentence). A shared pool of filler
+// and punctuation tokens provides non-informative context.
+#ifndef DAR_DATASETS_LEXICON_H_
+#define DAR_DATASETS_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+namespace dar {
+namespace datasets {
+
+/// Token groups for one review aspect.
+struct AspectLexicon {
+  std::string name;
+  std::vector<std::string> positive;
+  std::vector<std::string> negative;
+  std::vector<std::string> neutral;
+};
+
+/// The five beer aspects, in the sentence order reviews use. Indices 0-2
+/// (appearance, aroma, palate) are the aspects the paper evaluates;
+/// 3-4 (taste, overall) are distractor aspects present in the text.
+/// Appearance is first — the skewed-predictor experiment (Table VII)
+/// relies on "the first sentence is usually about appearance".
+const std::vector<AspectLexicon>& BeerAspects();
+
+/// The five hotel aspects: location, service, cleanliness (evaluated)
+/// plus breakfast and amenities (distractors).
+const std::vector<AspectLexicon>& HotelAspects();
+
+/// Generic non-informative filler words.
+const std::vector<std::string>& FillerTokens();
+
+/// Generic sentiment words ("good", "poor", ...) shared by *every* aspect.
+/// Each sentence carries a few of its own aspect-label's polarity; selecting
+/// them from a non-target sentence is the tempting-but-wrong move that
+/// separates aligned methods from colluding ones (they predict the target
+/// label only through the inter-aspect correlation).
+const std::vector<std::string>& GenericPositiveTokens();
+const std::vector<std::string>& GenericNegativeTokens();
+
+/// Punctuation tokens. "-" doubles as the label-correlated shortcut token
+/// in the rationale-shift experiments (the paper's Fig. 2 example).
+const std::vector<std::string>& PunctuationTokens();
+
+}  // namespace datasets
+}  // namespace dar
+
+#endif  // DAR_DATASETS_LEXICON_H_

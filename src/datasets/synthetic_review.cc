@@ -1,0 +1,194 @@
+#include "datasets/synthetic_review.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace datasets {
+
+namespace {
+
+/// Draws a random element of `pool`.
+const std::string& Pick(const std::vector<std::string>& pool, Pcg32& rng) {
+  DAR_CHECK(!pool.empty());
+  return pool[rng.Below(static_cast<uint32_t>(pool.size()))];
+}
+
+}  // namespace
+
+float SyntheticDataset::AnnotationSparsity() const {
+  double marked = 0.0, total = 0.0;
+  for (const data::Example& ex : test) {
+    total += static_cast<double>(ex.tokens.size());
+    for (uint8_t r : ex.rationale) marked += r;
+  }
+  return total > 0.0 ? static_cast<float>(marked / total) : 0.0f;
+}
+
+SyntheticReviewGenerator::SyntheticReviewGenerator(ReviewConfig config,
+                                                   uint64_t seed)
+    : config_(std::move(config)), rng_(seed, /*stream=*/0x5eed) {
+  DAR_CHECK(!config_.aspects.empty());
+  DAR_CHECK(config_.target_aspect >= 0 &&
+            config_.target_aspect < static_cast<int>(config_.aspects.size()));
+  DAR_CHECK_GE(config_.min_sentence_len, 3);
+  DAR_CHECK_LE(config_.min_sentence_len, config_.max_sentence_len);
+  DAR_CHECK_GE(config_.min_sentiment_tokens, 1);
+  DAR_CHECK_LE(config_.min_sentiment_tokens, config_.max_sentiment_tokens);
+  DAR_CHECK(config_.shortcut_strength >= 0.0f && config_.shortcut_strength < 1.0f);
+}
+
+void SyntheticReviewGenerator::BuildVocabulary(
+    data::Vocabulary& vocab, std::vector<int32_t>& family) const {
+  // Reserve a mask token for transformer pretraining right after <unk>.
+  auto add = [&](const std::string& tok, int32_t fam) {
+    int64_t id = vocab.AddToken(tok);
+    if (id >= static_cast<int64_t>(family.size())) {
+      family.resize(static_cast<size_t>(id) + 1, -1);
+    }
+    family[static_cast<size_t>(id)] = fam;
+  };
+  family.assign(static_cast<size_t>(vocab.size()), -1);
+  add("<mask>", -1);
+  int32_t next_family = 0;
+  for (const AspectLexicon& aspect : config_.aspects) {
+    int32_t pos_fam = next_family++;
+    int32_t neg_fam = next_family++;
+    int32_t neu_fam = next_family++;
+    for (const std::string& t : aspect.positive) add(t, pos_fam);
+    for (const std::string& t : aspect.negative) add(t, neg_fam);
+    for (const std::string& t : aspect.neutral) add(t, neu_fam);
+  }
+  int32_t generic_pos_fam = next_family++;
+  int32_t generic_neg_fam = next_family++;
+  for (const std::string& t : GenericPositiveTokens()) add(t, generic_pos_fam);
+  for (const std::string& t : GenericNegativeTokens()) add(t, generic_neg_fam);
+  for (const std::string& t : FillerTokens()) add(t, -1);
+  for (const std::string& t : PunctuationTokens()) add(t, -1);
+  add(config_.shortcut_token, -1);
+}
+
+data::Example SyntheticReviewGenerator::MakeExample(
+    const data::Vocabulary& vocab, int64_t label, bool annotate,
+    Pcg32& rng) const {
+  DAR_CHECK(label == 0 || label == 1);
+  data::Example ex;
+  ex.label = label;
+
+  const std::vector<std::string>& fillers = FillerTokens();
+  int64_t period_id = vocab.IdOrUnk(".");
+
+  for (size_t ai = 0; ai < config_.aspects.size(); ++ai) {
+    const AspectLexicon& aspect = config_.aspects[ai];
+    bool is_target = static_cast<int>(ai) == config_.target_aspect;
+    // Non-target aspect labels are correlated with, not determined by, the
+    // review label — the structure that lures RNP toward wrong aspects.
+    int64_t aspect_label =
+        is_target ? label
+                  : (rng.Bernoulli(config_.aspect_correlation)
+                         ? label
+                         : static_cast<int64_t>(rng.Bernoulli(0.5f)));
+
+    int len = config_.min_sentence_len +
+              static_cast<int>(rng.Below(static_cast<uint32_t>(
+                  config_.max_sentence_len - config_.min_sentence_len + 1)));
+    int num_sent = config_.min_sentiment_tokens +
+                   static_cast<int>(rng.Below(static_cast<uint32_t>(
+                       config_.max_sentiment_tokens -
+                       config_.min_sentiment_tokens + 1)));
+    int num_neutral = 1 + static_cast<int>(rng.Below(2));  // 1-2 topic words
+    num_sent = std::min(num_sent, len - num_neutral - 1);
+    num_sent = std::max(num_sent, 1);
+
+    // Compose the sentence: topic words, polarity words, fillers; polarity
+    // words land at random interior positions.
+    struct Slot {
+      int64_t id;
+      bool is_rationale;
+    };
+    std::vector<Slot> sentence;
+    sentence.reserve(static_cast<size_t>(len) + 1);
+    for (int i = 0; i < num_neutral; ++i) {
+      sentence.push_back({vocab.IdOrUnk(Pick(aspect.neutral, rng)),
+                          is_target && config_.annotate_neutral});
+    }
+    for (int i = 0; i < num_sent; ++i) {
+      bool flip = rng.Bernoulli(config_.polarity_noise);
+      bool positive = (aspect_label == 1) != flip;
+      const std::vector<std::string>& pool =
+          positive ? aspect.positive : aspect.negative;
+      // Flipped tokens are *not* part of the gold rationale: annotators
+      // mark the evidence for the label, not the hedges against it.
+      sentence.push_back({vocab.IdOrUnk(Pick(pool, rng)), is_target && !flip});
+    }
+    for (int i = 0; i < config_.generic_sentiment_tokens &&
+                    static_cast<int>(sentence.size()) < len;
+         ++i) {
+      bool flip = rng.Bernoulli(config_.polarity_noise);
+      bool positive = (aspect_label == 1) != flip;
+      const std::vector<std::string>& pool =
+          positive ? GenericPositiveTokens() : GenericNegativeTokens();
+      sentence.push_back({vocab.IdOrUnk(Pick(pool, rng)), is_target && !flip});
+    }
+    while (static_cast<int>(sentence.size()) < len) {
+      sentence.push_back({vocab.IdOrUnk(Pick(fillers, rng)), false});
+    }
+    // Shuffle the sentence body so informative tokens sit anywhere.
+    for (size_t i = sentence.size() - 1; i > 0; --i) {
+      size_t j = rng.Below(static_cast<uint32_t>(i + 1));
+      std::swap(sentence[i], sentence[j]);
+    }
+    sentence.push_back({period_id, false});
+
+    for (const Slot& s : sentence) {
+      ex.tokens.push_back(s.id);
+      if (annotate) ex.rationale.push_back(s.is_rationale ? 1 : 0);
+    }
+  }
+
+  // Shortcut injection: a trivial but distinguishable pattern correlated
+  // with the label (the paper's "-" example). Inserted at a random
+  // position so it is not trivially locatable.
+  if (config_.shortcut_strength > 0.0f) {
+    float p = label == 0 ? 0.5f + config_.shortcut_strength / 2.0f
+                         : 0.5f - config_.shortcut_strength / 2.0f;
+    if (rng.Bernoulli(p)) {
+      size_t pos = rng.Below(static_cast<uint32_t>(ex.tokens.size() + 1));
+      ex.tokens.insert(ex.tokens.begin() + static_cast<int64_t>(pos),
+                       vocab.IdOrUnk(config_.shortcut_token));
+      if (annotate) {
+        ex.rationale.insert(ex.rationale.begin() + static_cast<int64_t>(pos), 0);
+      }
+    }
+  }
+  return ex;
+}
+
+SyntheticDataset SyntheticReviewGenerator::Generate(int64_t num_train,
+                                                    int64_t num_dev,
+                                                    int64_t num_test) {
+  SyntheticDataset ds;
+  ds.config = config_;
+  BuildVocabulary(ds.vocab, ds.family);
+
+  auto fill = [&](std::vector<data::Example>& out, int64_t n, bool annotate) {
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t label = i % 2;  // class-balanced, as in the paper's Table IX
+      out.push_back(MakeExample(ds.vocab, label, annotate, rng_));
+    }
+    // Shuffle so batches are not label-alternating.
+    for (size_t i = out.size() - 1; i > 0; --i) {
+      size_t j = rng_.Below(static_cast<uint32_t>(i + 1));
+      std::swap(out[i], out[j]);
+    }
+  };
+  fill(ds.train, num_train, /*annotate=*/false);
+  fill(ds.dev, num_dev, /*annotate=*/false);
+  fill(ds.test, num_test, /*annotate=*/true);
+  return ds;
+}
+
+}  // namespace datasets
+}  // namespace dar

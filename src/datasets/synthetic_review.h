@@ -1,0 +1,112 @@
+// Synthetic multi-aspect review generator.
+//
+// Substitutes for the paper's BeerAdvocate / HotelReview corpora (which are
+// not redistributable) while preserving the causal structure that the
+// rationalization game exploits:
+//
+//   * each review contains one sentence per aspect, in a fixed order;
+//   * the target aspect's polarity words fully determine the label
+//     (P(Y | target sentiment tokens) = 1);
+//   * other aspects' labels are only *correlated* with the target label
+//     (the decorrelation knob of Lei et al.'s BeerAdvocate subsets);
+//   * an optional shortcut token ("-") is injected with label-dependent
+//     probability — the spurious pattern behind the paper's rationale-shift
+//     examples (Fig. 2);
+//   * gold rationales mark the target aspect's informative tokens, with a
+//     knob for matching each dataset's annotation sparsity (Table IX).
+#ifndef DAR_DATASETS_SYNTHETIC_REVIEW_H_
+#define DAR_DATASETS_SYNTHETIC_REVIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/vocabulary.h"
+#include "datasets/lexicon.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace datasets {
+
+/// Generation parameters for one aspect-specific dataset.
+struct ReviewConfig {
+  /// All aspects appearing in a review, in sentence order.
+  std::vector<AspectLexicon> aspects;
+  /// Which aspect the label (and gold rationale) refers to.
+  int target_aspect = 0;
+  /// Probability that a non-target aspect copies the target label instead
+  /// of drawing an independent fair coin. 0 = fully decorrelated.
+  float aspect_correlation = 0.3f;
+  /// Sentence length range (tokens), inclusive.
+  int min_sentence_len = 5;
+  int max_sentence_len = 8;
+  /// Number of aspect-specific polarity tokens per sentence, inclusive.
+  int min_sentiment_tokens = 2;
+  int max_sentiment_tokens = 3;
+  /// Number of *generic* sentiment tokens ("good"/"poor") per sentence,
+  /// drawn from the shared pools with the sentence's aspect polarity.
+  /// These are the tempting-but-wrong selections: from a non-target
+  /// sentence they predict the label only through the aspect correlation.
+  /// In the target sentence they belong to the gold rationale.
+  int generic_sentiment_tokens = 1;
+  /// Probability that a polarity token is drawn from the *opposite* pool
+  /// (real reviews hedge: "looks great but honestly a bit dull"). Off by
+  /// default: it lowers every method's F1 ceiling roughly uniformly; use
+  /// it to stress-test robustness rather than to separate methods.
+  float polarity_noise = 0.0f;
+  /// Include the target sentence's neutral topic tokens in the gold
+  /// rationale (raises annotation sparsity toward the Beer levels).
+  bool annotate_neutral = true;
+  /// Shortcut injection strength in [0, 1): the shortcut token appears with
+  /// probability 0.5 + strength/2 in negative reviews and 0.5 - strength/2
+  /// in positive ones. 0 keeps the marginal flat (no shortcut signal).
+  float shortcut_strength = 0.0f;
+  std::string shortcut_token = "-";
+};
+
+/// A fully materialized dataset: vocabulary, embedding families, splits.
+struct SyntheticDataset {
+  data::Vocabulary vocab;
+  /// Per-vocab-id semantic family for SyntheticGlove (-1 = none).
+  std::vector<int32_t> family;
+  std::vector<data::Example> train;
+  std::vector<data::Example> dev;
+  /// Test split carries gold rationale annotations (as in the paper, only
+  /// the test set is annotated).
+  std::vector<data::Example> test;
+  ReviewConfig config;
+
+  /// Mean fraction of annotated tokens over the test split.
+  float AnnotationSparsity() const;
+};
+
+/// Deterministic generator for SyntheticDatasets.
+class SyntheticReviewGenerator {
+ public:
+  SyntheticReviewGenerator(ReviewConfig config, uint64_t seed);
+
+  /// Generates class-balanced splits. Train/dev examples are unannotated;
+  /// test examples carry gold rationales.
+  SyntheticDataset Generate(int64_t num_train, int64_t num_dev,
+                            int64_t num_test);
+
+  /// Generates a single example with the given label (annotation optional).
+  /// Exposed for tests and examples.
+  data::Example MakeExample(const data::Vocabulary& vocab, int64_t label,
+                            bool annotate, Pcg32& rng) const;
+
+  /// Builds the vocabulary and family map for this config. The first call
+  /// inside Generate() uses the same function; exposed for tests.
+  void BuildVocabulary(data::Vocabulary& vocab,
+                       std::vector<int32_t>& family) const;
+
+ private:
+  ReviewConfig config_;
+  Pcg32 rng_;
+};
+
+}  // namespace datasets
+}  // namespace dar
+
+#endif  // DAR_DATASETS_SYNTHETIC_REVIEW_H_

@@ -1,0 +1,79 @@
+#include "eval/aggregate.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace eval {
+
+namespace {
+
+MetricSummary Summarize(const std::vector<float>& values) {
+  MetricSummary summary;
+  if (values.empty()) return summary;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  summary.mean = static_cast<float>(sum / static_cast<double>(values.size()));
+  double var = 0.0;
+  for (float v : values) {
+    double d = v - summary.mean;
+    var += d * d;
+  }
+  summary.stddev = static_cast<float>(
+      std::sqrt(var / static_cast<double>(values.size())));
+  return summary;
+}
+
+}  // namespace
+
+std::string MetricSummary::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f ± %.1f", 100.0f * mean,
+                100.0f * stddev);
+  return buf;
+}
+
+AggregateResult Aggregate(const std::string& method,
+                          const std::vector<MethodResult>& results) {
+  DAR_CHECK(!results.empty());
+  AggregateResult aggregate;
+  aggregate.method = method;
+  aggregate.num_seeds = static_cast<int64_t>(results.size());
+  std::vector<float> s, acc, p, r, f1, full;
+  for (const MethodResult& result : results) {
+    s.push_back(result.rationale.sparsity);
+    acc.push_back(result.rationale_acc);
+    p.push_back(result.rationale.precision);
+    r.push_back(result.rationale.recall);
+    f1.push_back(result.rationale.f1);
+    full.push_back(result.full_text_acc);
+  }
+  aggregate.sparsity = Summarize(s);
+  aggregate.rationale_acc = Summarize(acc);
+  aggregate.precision = Summarize(p);
+  aggregate.recall = Summarize(r);
+  aggregate.f1 = Summarize(f1);
+  aggregate.full_text_acc = Summarize(full);
+  return aggregate;
+}
+
+AggregateResult RunAcrossSeeds(const std::string& method,
+                               const datasets::SyntheticDataset& dataset,
+                               const core::TrainConfig& base_config,
+                               const std::vector<uint64_t>& seeds) {
+  DAR_CHECK(!seeds.empty());
+  std::vector<MethodResult> results;
+  results.reserve(seeds.size());
+  for (uint64_t seed : seeds) {
+    core::TrainConfig config = base_config;
+    config.seed = seed;
+    auto model = MakeMethod(method, dataset, config);
+    results.push_back(TrainAndEvaluate(*model, dataset));
+  }
+  return Aggregate(method, results);
+}
+
+}  // namespace eval
+}  // namespace dar

@@ -1,0 +1,54 @@
+// Multi-seed aggregation of experiment results.
+//
+// Single-seed F1 cells move by a few points on the synthetic benchmarks;
+// this helper runs a method across seeds and reports mean ± standard
+// deviation, used by examples and by users who want tighter comparisons
+// than the single-seed bench defaults.
+#ifndef DAR_EVAL_AGGREGATE_H_
+#define DAR_EVAL_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace dar {
+namespace eval {
+
+/// Mean and (population) standard deviation of one metric across seeds.
+struct MetricSummary {
+  float mean = 0.0f;
+  float stddev = 0.0f;
+
+  /// "64.2 ± 2.1" using percentage formatting.
+  std::string ToString() const;
+};
+
+/// Aggregated results of running one method across seeds.
+struct AggregateResult {
+  std::string method;
+  int64_t num_seeds = 0;
+  MetricSummary sparsity;
+  MetricSummary rationale_acc;
+  MetricSummary precision;
+  MetricSummary recall;
+  MetricSummary f1;
+  MetricSummary full_text_acc;
+};
+
+/// Computes mean/stddev over a set of per-seed results.
+AggregateResult Aggregate(const std::string& method,
+                          const std::vector<MethodResult>& results);
+
+/// Trains `method` once per seed (fresh model each time; the dataset is
+/// shared, so only initialization/sampling vary) and aggregates.
+AggregateResult RunAcrossSeeds(const std::string& method,
+                               const datasets::SyntheticDataset& dataset,
+                               const core::TrainConfig& base_config,
+                               const std::vector<uint64_t>& seeds);
+
+}  // namespace eval
+}  // namespace dar
+
+#endif  // DAR_EVAL_AGGREGATE_H_

@@ -1,0 +1,92 @@
+#include "eval/analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "data/dataloader.h"
+#include "tensor/check.h"
+
+namespace dar {
+namespace eval {
+
+float TokenSelectionRate(core::RationalizerBase& model,
+                         const std::vector<data::Example>& examples,
+                         int64_t token_id, int64_t batch_size) {
+  data::DataLoader loader(examples, batch_size, /*shuffle=*/false);
+  int64_t with = 0, total = 0;
+  for (const data::Batch& batch : loader.Sequential()) {
+    Tensor mask = model.EvalMask(batch);
+    for (int64_t i = 0; i < batch.batch_size(); ++i) {
+      for (int64_t t = 0; t < batch.max_len(); ++t) {
+        if (mask.at(i, t) > 0.5f &&
+            batch.tokens[static_cast<size_t>(i)][static_cast<size_t>(t)] ==
+                token_id) {
+          ++with;
+          break;
+        }
+      }
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<float>(with) / static_cast<float>(total)
+                   : 0.0f;
+}
+
+float TokenSelectionStats::Rate(int64_t token_id) const {
+  size_t id = static_cast<size_t>(token_id);
+  DAR_CHECK_LT(id, occurrences.size());
+  return occurrences[id] > 0 ? static_cast<float>(selected[id]) /
+                                   static_cast<float>(occurrences[id])
+                             : 0.0f;
+}
+
+TokenSelectionStats ComputeTokenSelectionStats(
+    core::RationalizerBase& model, const std::vector<data::Example>& examples,
+    int64_t vocab_size, int64_t batch_size) {
+  TokenSelectionStats stats;
+  stats.occurrences.assign(static_cast<size_t>(vocab_size), 0);
+  stats.selected.assign(static_cast<size_t>(vocab_size), 0);
+  data::DataLoader loader(examples, batch_size, /*shuffle=*/false);
+  for (const data::Batch& batch : loader.Sequential()) {
+    Tensor mask = model.EvalMask(batch);
+    for (int64_t i = 0; i < batch.batch_size(); ++i) {
+      for (int64_t t = 0; t < batch.max_len(); ++t) {
+        if (batch.valid.at(i, t) == 0.0f) continue;
+        int64_t id =
+            batch.tokens[static_cast<size_t>(i)][static_cast<size_t>(t)];
+        DAR_CHECK(id >= 0 && id < vocab_size);
+        ++stats.occurrences[static_cast<size_t>(id)];
+        if (mask.at(i, t) > 0.5f) ++stats.selected[static_cast<size_t>(id)];
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<std::string> MostSelectedTokens(const TokenSelectionStats& stats,
+                                            const data::Vocabulary& vocab,
+                                            int64_t top_k,
+                                            int64_t min_occurrences) {
+  std::vector<std::pair<float, int64_t>> rated;
+  for (size_t id = 0; id < stats.occurrences.size(); ++id) {
+    if (stats.occurrences[id] >= min_occurrences) {
+      rated.emplace_back(stats.Rate(static_cast<int64_t>(id)),
+                         static_cast<int64_t>(id));
+    }
+  }
+  std::sort(rated.begin(), rated.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  for (int64_t k = 0; k < top_k && k < static_cast<int64_t>(rated.size());
+       ++k) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s (%.0f%%)",
+                  vocab.Token(rated[static_cast<size_t>(k)].second).c_str(),
+                  100.0f * rated[static_cast<size_t>(k)].first);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace dar

@@ -1,0 +1,51 @@
+// Rationale analysis utilities: which tokens does a trained model select?
+//
+// These diagnostics power the rationale-shift demos: a healthy model
+// selects aspect-polarity words; a shifted model selects the spurious
+// shortcut token instead.
+#ifndef DAR_EVAL_ANALYSIS_H_
+#define DAR_EVAL_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rationalizer.h"
+#include "data/batch.h"
+#include "data/vocabulary.h"
+
+namespace dar {
+namespace eval {
+
+/// Fraction of examples whose selected rationale contains `token_id`.
+float TokenSelectionRate(core::RationalizerBase& model,
+                         const std::vector<data::Example>& examples,
+                         int64_t token_id, int64_t batch_size = 50);
+
+/// Per-token selection statistics over a split.
+struct TokenSelectionStats {
+  /// selected[id] / occurrences[id] = how often token id is selected when
+  /// it appears.
+  std::vector<int64_t> occurrences;
+  std::vector<int64_t> selected;
+
+  /// Selection rate of one token (0 if it never occurs).
+  float Rate(int64_t token_id) const;
+};
+
+/// Counts, for every vocabulary id, how often the model selects it.
+TokenSelectionStats ComputeTokenSelectionStats(
+    core::RationalizerBase& model, const std::vector<data::Example>& examples,
+    int64_t vocab_size, int64_t batch_size = 50);
+
+/// The `top_k` most-selected tokens (by rate, among tokens occurring at
+/// least `min_occurrences` times), rendered as "token (rate%)" strings.
+std::vector<std::string> MostSelectedTokens(const TokenSelectionStats& stats,
+                                            const data::Vocabulary& vocab,
+                                            int64_t top_k,
+                                            int64_t min_occurrences = 5);
+
+}  // namespace eval
+}  // namespace dar
+
+#endif  // DAR_EVAL_ANALYSIS_H_

@@ -1,0 +1,56 @@
+// End-to-end experiment running: method factory, training, evaluation.
+#ifndef DAR_EVAL_EXPERIMENT_H_
+#define DAR_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rationalizer.h"
+#include "core/trainer.h"
+#include "datasets/synthetic_review.h"
+#include "eval/metrics.h"
+
+namespace dar {
+namespace eval {
+
+/// Everything a paper-table row needs about one trained method.
+struct MethodResult {
+  std::string method;
+  /// Rationale overlap metrics on the annotated test set (S/P/R/F1).
+  RationaleMetrics rationale;
+  /// Predictive accuracy with the selected rationale as input (Acc).
+  float rationale_acc = 0.0f;
+  /// Predictive accuracy with the full text as input (Fig. 3 / Fig. 6).
+  float full_text_acc = 0.0f;
+  /// Positive-class P/R/F1 of the full-text predictions (Table I).
+  BinaryPrf full_text_prf;
+  /// Training trace (per-epoch dev accuracy, best epoch).
+  core::TrainRun train_run;
+};
+
+/// Builds the shared synthetic-GloVe table for a dataset under `config`.
+Tensor BuildEmbeddings(const datasets::SyntheticDataset& dataset,
+                       const core::TrainConfig& config);
+
+/// Instantiates a method by name: "RNP", "DAR", "DMR", "A2R", "Inter_RAT",
+/// "CAR", "3PLAYER", "VIB", "SPECTRA", the sentence-level protocols
+/// "RNP*" / "A2R*" (the paper's "os" rows), and the ablation arm
+/// "DAR-cotrained" (unfrozen, unpretrained discriminator). Aborts on an
+/// unknown name.
+std::unique_ptr<core::RationalizerBase> MakeMethod(
+    const std::string& name, const datasets::SyntheticDataset& dataset,
+    const core::TrainConfig& config);
+
+/// Evaluates a (trained) model on the dataset's test split.
+MethodResult EvaluateOnTest(core::RationalizerBase& model,
+                            const datasets::SyntheticDataset& dataset);
+
+/// Fit + EvaluateOnTest in one call.
+MethodResult TrainAndEvaluate(core::RationalizerBase& model,
+                              const datasets::SyntheticDataset& dataset,
+                              bool verbose = false);
+
+}  // namespace eval
+}  // namespace dar
+
+#endif  // DAR_EVAL_EXPERIMENT_H_

@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace eval {
+
+void RationaleMetricsAccumulator::Add(const Tensor& mask,
+                                      const data::Batch& batch) {
+  DAR_CHECK(mask.shape() == batch.valid.shape());
+  int64_t b = mask.size(0), t = mask.size(1);
+  for (int64_t i = 0; i < b; ++i) {
+    const std::vector<uint8_t>& gold = batch.rationales[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < t; ++j) {
+      if (batch.valid.at(i, j) == 0.0f) continue;
+      valid_ += 1.0;
+      bool sel = mask.at(i, j) > 0.5f;
+      if (sel) selected_ += 1.0;
+      if (!gold.empty()) {
+        bool is_gold = gold[static_cast<size_t>(j)] != 0;
+        if (is_gold) gold_ += 1.0;
+        if (sel && is_gold) overlap_ += 1.0;
+      }
+    }
+  }
+}
+
+RationaleMetrics RationaleMetricsAccumulator::Finalize() const {
+  RationaleMetrics m;
+  m.sparsity = valid_ > 0.0 ? static_cast<float>(selected_ / valid_) : 0.0f;
+  m.precision =
+      selected_ > 0.0 ? static_cast<float>(overlap_ / selected_) : 0.0f;
+  m.recall = gold_ > 0.0 ? static_cast<float>(overlap_ / gold_) : 0.0f;
+  m.f1 = (m.precision + m.recall) > 0.0f
+             ? 2.0f * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0f;
+  return m;
+}
+
+BinaryPrf PositiveClassPrf(const std::vector<int64_t>& predictions,
+                           const std::vector<int64_t>& labels) {
+  DAR_CHECK_EQ(predictions.size(), labels.size());
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    bool pred_pos = predictions[i] == 1;
+    bool is_pos = labels[i] == 1;
+    if (pred_pos && is_pos) ++tp;
+    if (pred_pos && !is_pos) ++fp;
+    if (!pred_pos && is_pos) ++fn;
+  }
+  BinaryPrf prf;
+  if (tp + fp == 0) {
+    // Collapsed predictor: never predicts positive (paper Table I "nan").
+    prf.defined = false;
+    prf.precision = 0.0f;
+  } else {
+    prf.precision = static_cast<float>(tp) / static_cast<float>(tp + fp);
+  }
+  prf.recall =
+      (tp + fn) > 0 ? static_cast<float>(tp) / static_cast<float>(tp + fn) : 0.0f;
+  prf.f1 = (prf.defined && prf.precision + prf.recall > 0.0f)
+               ? 2.0f * prf.precision * prf.recall / (prf.precision + prf.recall)
+               : 0.0f;
+  return prf;
+}
+
+}  // namespace eval
+}  // namespace dar

@@ -1,0 +1,60 @@
+// Rationale-quality and label-prediction metrics.
+#ifndef DAR_EVAL_METRICS_H_
+#define DAR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/batch.h"
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace eval {
+
+/// Token-overlap metrics against gold rationales (the paper's P/R/F1) plus
+/// selection sparsity (the paper's S).
+struct RationaleMetrics {
+  float sparsity = 0.0f;
+  float precision = 0.0f;
+  float recall = 0.0f;
+  float f1 = 0.0f;
+};
+
+/// Micro-averaged accumulator over batches: counts are pooled across all
+/// tokens of the split before the final P/R/F1 — matching how the
+/// rationalization literature reports token overlap.
+class RationaleMetricsAccumulator {
+ public:
+  /// `mask` is the model's hard selection [B, T]; gold annotations and
+  /// validity come from `batch`. Batches whose examples carry no
+  /// annotation contribute to sparsity only.
+  void Add(const Tensor& mask, const data::Batch& batch);
+
+  RationaleMetrics Finalize() const;
+
+ private:
+  double selected_ = 0.0;
+  double gold_ = 0.0;
+  double overlap_ = 0.0;
+  double valid_ = 0.0;
+};
+
+/// Precision/recall/F1 of the *positive class* of label predictions —
+/// the paper's Table I probe that exposes a predictor collapsed onto one
+/// class ("nan" precision when it never predicts positive).
+struct BinaryPrf {
+  float precision = 0.0f;
+  float recall = 0.0f;
+  float f1 = 0.0f;
+  /// False when the model never predicted the positive class (the paper
+  /// prints "nan" for precision/F1 in that case).
+  bool defined = true;
+};
+
+BinaryPrf PositiveClassPrf(const std::vector<int64_t>& predictions,
+                           const std::vector<int64_t>& labels);
+
+}  // namespace eval
+}  // namespace dar
+
+#endif  // DAR_EVAL_METRICS_H_

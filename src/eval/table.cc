@@ -1,0 +1,75 @@
+#include "eval/table.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace dar {
+namespace eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRule() { rows_.emplace_back(); }
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  rule();
+  print_row(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      print_row(row);
+    }
+  }
+  rule();
+  return os.str();
+}
+
+void TablePrinter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatPercent(float fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", fraction * 100.0f);
+  return buf;
+}
+
+std::string FormatFloat(float value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace eval
+}  // namespace dar

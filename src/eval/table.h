@@ -1,0 +1,42 @@
+// ASCII table rendering for the benchmark binaries.
+#ifndef DAR_EVAL_TABLE_H_
+#define DAR_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dar {
+namespace eval {
+
+/// Accumulates rows of strings and prints them with aligned columns —
+/// the output format of every bench/table*_ binary.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string Render() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+/// "79.8" from 0.798 (the paper reports percentages with one decimal).
+std::string FormatPercent(float fraction);
+
+/// Formats a float with `decimals` digits.
+std::string FormatFloat(float value, int decimals = 1);
+
+}  // namespace eval
+}  // namespace dar
+
+#endif  // DAR_EVAL_TABLE_H_

@@ -1,0 +1,77 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads,
+                                       Pcg32& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      q_proj_(dim, dim, rng),
+      k_proj_(dim, dim, rng),
+      v_proj_(dim, dim, rng),
+      out_proj_(dim, dim, rng) {
+  DAR_CHECK_MSG(dim % num_heads == 0, "dim must be divisible by num_heads");
+  RegisterChild("q", &q_proj_);
+  RegisterChild("k", &k_proj_);
+  RegisterChild("v", &v_proj_);
+  RegisterChild("out", &out_proj_);
+}
+
+ag::Variable MultiHeadAttention::Forward(const ag::Variable& x,
+                                         const Tensor& valid) const {
+  const Tensor& xv = x.value();
+  DAR_CHECK_EQ(xv.dim(), 3);
+  int64_t b = xv.size(0), t = xv.size(1);
+  DAR_CHECK_EQ(xv.size(2), dim_);
+  DAR_CHECK_EQ(valid.size(0), b);
+  DAR_CHECK_EQ(valid.size(1), t);
+
+  ag::Variable flat = ag::Reshape(x, Shape{b * t, dim_});
+  ag::Variable q = q_proj_.Forward(flat);
+  ag::Variable k = k_proj_.Forward(flat);
+  ag::Variable v = v_proj_.Forward(flat);
+
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<ag::Variable> per_example;
+  per_example.reserve(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    // Key-side padding mask for example i: [T, T] additive bias.
+    Tensor bias(Shape{t, t});
+    for (int64_t tk = 0; tk < t; ++tk) {
+      if (valid.at(i, tk) == 0.0f) {
+        for (int64_t tq = 0; tq < t; ++tq) bias.at(tq, tk) = -1e9f;
+      }
+    }
+    ag::Variable bias_v = ag::Variable::Constant(bias);
+
+    ag::Variable qi = ag::SliceRows(q, i * t, t);
+    ag::Variable ki = ag::SliceRows(k, i * t, t);
+    ag::Variable vi = ag::SliceRows(v, i * t, t);
+
+    ag::Variable heads;
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      ag::Variable qh = ag::SliceCols(qi, h * head_dim_, head_dim_);
+      ag::Variable kh = ag::SliceCols(ki, h * head_dim_, head_dim_);
+      ag::Variable vh = ag::SliceCols(vi, h * head_dim_, head_dim_);
+      ag::Variable scores =
+          ag::Add(ag::MulScalar(ag::MatMulNT(qh, kh), scale), bias_v);
+      ag::Variable attn = ag::SoftmaxRowsOp(scores);
+      ag::Variable ctx = ag::MatMul(attn, vh);  // [T, head_dim]
+      heads = (h == 0) ? ctx : ag::ConcatCols(heads, ctx);
+    }
+    per_example.push_back(heads);  // [T, dim]
+  }
+  ag::Variable stacked = ag::ConcatRows(per_example);  // [B*T, dim]
+  ag::Variable out = out_proj_.Forward(stacked);
+  return ag::Reshape(out, Shape{b, t, dim_});
+}
+
+}  // namespace nn
+}  // namespace dar

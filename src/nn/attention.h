@@ -1,0 +1,40 @@
+// Multi-head scaled dot-product self-attention.
+#ifndef DAR_NN_ATTENTION_H_
+#define DAR_NN_ATTENTION_H_
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace dar {
+namespace nn {
+
+/// Self-attention over a padded batch [B, T, dim].
+///
+/// Padded key positions are masked with a large negative score before the
+/// softmax; padded query rows produce values that downstream pooling
+/// ignores via the same validity mask.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t dim, int64_t num_heads, Pcg32& rng);
+
+  /// x: [B, T, dim], valid: [B, T] -> [B, T, dim].
+  ag::Variable Forward(const ag::Variable& x, const Tensor& valid) const;
+
+  int64_t dim() const { return dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+};
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_ATTENTION_H_

@@ -1,0 +1,134 @@
+#include "nn/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dar {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[] = "DARCKPT";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+std::string SerializeCheckpoint(const Module& module) {
+  std::vector<NamedParameter> params = module.Parameters();
+  std::ostringstream os;
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "params " << params.size() << '\n';
+  for (const NamedParameter& p : params) {
+    const Tensor& value = p.variable.value();
+    os << "name " << p.name << '\n';
+    os << "shape";
+    for (int64_t d : value.shape()) os << ' ' << d;
+    os << '\n';
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      if (i) os << ' ';
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", value.flat(i));
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+CheckpointResult DeserializeCheckpoint(Module& module,
+                                       const std::string& text) {
+  CheckpointResult result;
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    result.error = "not a DAR checkpoint (bad magic)";
+    return result;
+  }
+  if (version != kVersion) {
+    result.error = "unsupported checkpoint version";
+    return result;
+  }
+  std::string keyword;
+  size_t count = 0;
+  if (!(is >> keyword >> count) || keyword != "params") {
+    result.error = "missing params header";
+    return result;
+  }
+  std::vector<NamedParameter> params = module.Parameters();
+  if (count != params.size()) {
+    std::ostringstream os;
+    os << "parameter count mismatch: checkpoint has " << count
+       << ", module has " << params.size();
+    result.error = os.str();
+    return result;
+  }
+  for (NamedParameter& p : params) {
+    std::string name;
+    if (!(is >> keyword >> name) || keyword != "name") {
+      result.error = "malformed record (expected 'name')";
+      return result;
+    }
+    if (name != p.name) {
+      result.error = "parameter name mismatch: checkpoint '" + name +
+                     "' vs module '" + p.name + "'";
+      return result;
+    }
+    if (!(is >> keyword) || keyword != "shape") {
+      result.error = "malformed record (expected 'shape') for " + name;
+      return result;
+    }
+    Shape expected = p.variable.value().shape();
+    Shape got;
+    for (size_t d = 0; d < expected.size(); ++d) {
+      int64_t dim = 0;
+      if (!(is >> dim)) {
+        result.error = "truncated shape for " + name;
+        return result;
+      }
+      got.push_back(dim);
+    }
+    if (got != expected) {
+      result.error = "shape mismatch for " + name + ": checkpoint " +
+                     ShapeToString(got) + " vs module " +
+                     ShapeToString(expected);
+      return result;
+    }
+    Tensor value(expected);
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      float v = 0.0f;
+      if (!(is >> v)) {
+        result.error = "truncated values for " + name;
+        return result;
+      }
+      value.flat(i) = v;
+    }
+    p.variable.mutable_value() = std::move(value);
+  }
+  result.ok = true;
+  return result;
+}
+
+bool SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << SerializeCheckpoint(module);
+  return static_cast<bool>(file);
+}
+
+CheckpointResult LoadCheckpoint(Module& module, const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    CheckpointResult result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeCheckpoint(module, buffer.str());
+}
+
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,40 @@
+// Module checkpointing: save/restore all named parameters of a Module.
+//
+// The format is a self-describing text file (versioned header, one record
+// per parameter with its slash-qualified name, shape, and values), so
+// checkpoints survive recompilation and are diffable. Loading verifies
+// that names and shapes match the target module exactly — a checkpoint is
+// only valid for the architecture that wrote it.
+#ifndef DAR_NN_CHECKPOINT_H_
+#define DAR_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace dar {
+namespace nn {
+
+/// Outcome of a checkpoint load.
+struct CheckpointResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Serializes every parameter of `module` to the checkpoint text format.
+std::string SerializeCheckpoint(const Module& module);
+
+/// Restores parameters from text produced by SerializeCheckpoint. The
+/// module's parameter names and shapes must match exactly.
+CheckpointResult DeserializeCheckpoint(Module& module, const std::string& text);
+
+/// SerializeCheckpoint to a file. Returns false on I/O failure.
+bool SaveCheckpoint(const Module& module, const std::string& path);
+
+/// DeserializeCheckpoint from a file.
+CheckpointResult LoadCheckpoint(Module& module, const std::string& path);
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_CHECKPOINT_H_

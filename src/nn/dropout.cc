@@ -1,0 +1,23 @@
+#include "nn/dropout.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace nn {
+
+Dropout::Dropout(float p, Pcg32& rng) : p_(p), rng_(&rng) {
+  DAR_CHECK(p >= 0.0f && p < 1.0f);
+}
+
+ag::Variable Dropout::Forward(const ag::Variable& x) const {
+  if (!training() || p_ == 0.0f) return x;
+  Tensor mask(x.value().shape());
+  float scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.flat(i) = rng_->Bernoulli(p_) ? 0.0f : scale;
+  }
+  return ag::Mul(x, ag::Variable::Constant(mask));
+}
+
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,32 @@
+// Inverted dropout.
+#ifndef DAR_NN_DROPOUT_H_
+#define DAR_NN_DROPOUT_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace nn {
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// p and survivors are scaled by 1/(1-p); at evaluation it is the identity.
+class Dropout : public Module {
+ public:
+  /// `rng` must outlive the module; each Forward in training mode draws a
+  /// fresh mask from it.
+  Dropout(float p, Pcg32& rng);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Pcg32* rng_;
+};
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_DROPOUT_H_

@@ -1,0 +1,108 @@
+#include "nn/gru.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+
+namespace {
+
+/// Extracts column t of a [B, T] mask tensor as a length-B constant vector.
+Tensor MaskColumn(const Tensor& valid, int64_t t) {
+  int64_t b = valid.size(0);
+  Tensor out(Shape{b});
+  for (int64_t i = 0; i < b; ++i) out.at(i) = valid.at(i, t);
+  return out;
+}
+
+}  // namespace
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, Pcg32& rng, bool reverse)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim), reverse_(reverse) {
+  DAR_CHECK_GT(input_dim, 0);
+  DAR_CHECK_GT(hidden_dim, 0);
+  float bx = std::sqrt(6.0f / static_cast<float>(input_dim + hidden_dim));
+  float bh = std::sqrt(6.0f / static_cast<float>(2 * hidden_dim));
+  w_x_ = RegisterParameter(
+      "w_x", Tensor::Rand(Shape{input_dim, 3 * hidden_dim}, rng, -bx, bx));
+  w_h_ = RegisterParameter(
+      "w_h", Tensor::Rand(Shape{hidden_dim, 3 * hidden_dim}, rng, -bh, bh));
+  b_ = RegisterParameter("b", Tensor::Zeros(Shape{3 * hidden_dim}));
+}
+
+ag::Variable Gru::Step(const ag::Variable& x_proj, const ag::Variable& h) const {
+  int64_t hd = hidden_dim_;
+  ag::Variable h_proj = ag::MatMul(h, w_h_);
+  ag::Variable z = ag::Sigmoid(
+      ag::Add(ag::SliceCols(x_proj, 0, hd), ag::SliceCols(h_proj, 0, hd)));
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::SliceCols(x_proj, hd, hd), ag::SliceCols(h_proj, hd, hd)));
+  ag::Variable n = ag::Tanh(
+      ag::Add(ag::SliceCols(x_proj, 2 * hd, hd),
+              ag::Mul(r, ag::SliceCols(h_proj, 2 * hd, hd))));
+  // h' = (1 - z) * n + z * h
+  ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+ag::Variable Gru::Forward(const ag::Variable& x, const Tensor* valid) const {
+  const Tensor& xv = x.value();
+  DAR_CHECK_EQ(xv.dim(), 3);
+  int64_t b = xv.size(0), t_len = xv.size(1);
+  DAR_CHECK_EQ(xv.size(2), input_dim_);
+  if (valid != nullptr) {
+    DAR_CHECK_EQ(valid->dim(), 2);
+    DAR_CHECK_EQ(valid->size(0), b);
+    DAR_CHECK_EQ(valid->size(1), t_len);
+  }
+
+  // Project all timesteps at once: [B*T, E] x [E, 3H].
+  ag::Variable x_flat = ag::Reshape(x, Shape{b * t_len, input_dim_});
+  ag::Variable proj_flat = ag::AddBias(ag::MatMul(x_flat, w_x_), b_);
+  ag::Variable proj = ag::Reshape(proj_flat, Shape{b, t_len, 3 * hidden_dim_});
+
+  ag::Variable h = ag::Variable::Constant(Tensor::Zeros(Shape{b, hidden_dim_}));
+  std::vector<ag::Variable> outputs(static_cast<size_t>(t_len));
+  for (int64_t step = 0; step < t_len; ++step) {
+    int64_t t = reverse_ ? t_len - 1 - step : step;
+    ag::Variable h_new = Step(ag::SliceTimeOp(proj, t), h);
+    if (valid != nullptr) {
+      // h = m * h_new + (1 - m) * h : frozen past sequence end.
+      Tensor m = MaskColumn(*valid, t);
+      ag::Variable mv = ag::Variable::Constant(m);
+      ag::Variable inv = ag::Variable::Constant(
+          Map(m, [](float v) { return 1.0f - v; }));
+      h = ag::Add(ag::ScaleRows(h_new, mv), ag::ScaleRows(h, inv));
+    } else {
+      h = h_new;
+    }
+    outputs[static_cast<size_t>(t)] = h;
+  }
+  return ag::StackTimeOp(outputs);
+}
+
+BiGru::BiGru(int64_t input_dim, int64_t hidden_dim, Pcg32& rng)
+    : forward_(input_dim, hidden_dim, rng, /*reverse=*/false),
+      backward_(input_dim, hidden_dim, rng, /*reverse=*/true) {
+  RegisterChild("fw", &forward_);
+  RegisterChild("bw", &backward_);
+}
+
+ag::Variable BiGru::Forward(const ag::Variable& x, const Tensor* valid) const {
+  ag::Variable fw = forward_.Forward(x, valid);
+  ag::Variable bw = backward_.Forward(x, valid);
+  const Tensor& xv = x.value();
+  int64_t b = xv.size(0), t_len = xv.size(1);
+  int64_t hd = forward_.hidden_dim();
+  // Concatenate along the feature dim: reshape both to [B*T, H] and concat.
+  ag::Variable fw2 = ag::Reshape(fw, Shape{b * t_len, hd});
+  ag::Variable bw2 = ag::Reshape(bw, Shape{b * t_len, hd});
+  return ag::Reshape(ag::ConcatCols(fw2, bw2), Shape{b, t_len, 2 * hd});
+}
+
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,66 @@
+// Gated recurrent units (Cho et al., 2014), unidirectional and
+// bidirectional, with length masking for padded batches.
+//
+// The paper's main experiments use 200-d bidirectional GRUs for both the
+// generator and the predictor; this implementation is dimension-agnostic.
+#ifndef DAR_NN_GRU_H_
+#define DAR_NN_GRU_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace nn {
+
+/// Single-direction GRU over a padded batch.
+///
+/// Gate layout inside the fused [*, 3H] projections: [update z | reset r |
+/// candidate n]. State update: h' = (1 - z) ⊙ n + z ⊙ h, gated by the
+/// validity mask so hidden states freeze past each sequence's end.
+class Gru : public Module {
+ public:
+  /// If `reverse` is true the recurrence runs from t = T-1 down to 0
+  /// (the backward half of a BiGRU).
+  Gru(int64_t input_dim, int64_t hidden_dim, Pcg32& rng, bool reverse = false);
+
+  /// x: [B, T, input_dim]; valid: 0/1 mask [B, T] (nullptr = all valid).
+  /// Returns hidden states [B, T, hidden_dim], indexed in original time
+  /// order regardless of direction.
+  ag::Variable Forward(const ag::Variable& x, const Tensor* valid = nullptr) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+  bool reverse() const { return reverse_; }
+
+ private:
+  /// One recurrence step from precomputed input projection [B, 3H].
+  ag::Variable Step(const ag::Variable& x_proj, const ag::Variable& h) const;
+
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  bool reverse_;
+  ag::Variable w_x_;  // [input_dim, 3H]
+  ag::Variable w_h_;  // [hidden_dim, 3H]
+  ag::Variable b_;    // [3H]
+};
+
+/// Bidirectional GRU: concatenation of a forward and a reverse Gru.
+class BiGru : public Module {
+ public:
+  BiGru(int64_t input_dim, int64_t hidden_dim, Pcg32& rng);
+
+  /// x: [B, T, input_dim] -> [B, T, 2 * hidden_dim].
+  ag::Variable Forward(const ag::Variable& x, const Tensor* valid = nullptr) const;
+
+  int64_t output_dim() const { return 2 * forward_.hidden_dim(); }
+
+ private:
+  Gru forward_;
+  Gru backward_;
+};
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_GRU_H_

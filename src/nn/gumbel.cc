@@ -1,0 +1,33 @@
+#include "nn/gumbel.h"
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace nn {
+
+GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
+                            float tau, bool training, Pcg32& rng) {
+  const Tensor& lv = logits.value();
+  DAR_CHECK_EQ(lv.dim(), 2);
+  DAR_CHECK(valid.shape() == lv.shape());
+  DAR_CHECK_GT(tau, 0.0f);
+
+  ag::Variable perturbed = logits;
+  if (training) {
+    // For two classes, softmax((l + g1, g0)/tau) reduces to
+    // sigmoid((l + g1 - g0)/tau): one noise tensor suffices.
+    Tensor noise(lv.shape());
+    for (int64_t i = 0; i < noise.numel(); ++i) {
+      noise.flat(i) = rng.Gumbel() - rng.Gumbel();
+    }
+    perturbed = ag::Add(logits, ag::Variable::Constant(noise));
+  }
+  ag::Variable soft = ag::Sigmoid(ag::MulScalar(perturbed, 1.0f / tau));
+  // Zero out padded positions so they can never be "selected".
+  soft = ag::Mul(soft, ag::Variable::Constant(valid));
+  ag::Variable hard = ag::StraightThroughRound(soft);
+  return {soft, hard};
+}
+
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,38 @@
+// Binary Gumbel-softmax sampling with a straight-through estimator
+// (Jang et al. 2017; Maddison et al. 2017).
+//
+// This is the reparameterization trick the paper (and RNP, DMR, A2R,
+// Inter_RAT) uses to draw differentiable binary rationale masks from the
+// generator's per-token selection logits.
+#ifndef DAR_NN_GUMBEL_H_
+#define DAR_NN_GUMBEL_H_
+
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace nn {
+
+/// Result of sampling a binary mask.
+struct GumbelMask {
+  /// Relaxed selection probabilities in (0, 1), shape [B, T]. Gradients
+  /// flow through these.
+  ag::Variable soft;
+  /// Hard 0/1 mask, shape [B, T]; forward-binarized, backward passes
+  /// straight through to `soft`.
+  ag::Variable hard;
+};
+
+/// Samples a binary mask from per-token selection logits [B, T].
+///
+/// In training mode, logits are perturbed with the difference of two Gumbel
+/// noises (equivalent to 2-class Gumbel-softmax) and squashed at temperature
+/// `tau`; in eval mode the sample is the deterministic sigmoid(logits/tau).
+/// Positions with valid == 0 are forced to 0 in both soft and hard outputs.
+GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
+                            float tau, bool training, Pcg32& rng);
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_GUMBEL_H_

@@ -1,0 +1,33 @@
+// Layer normalization (Ba et al., 2016), fused forward/backward.
+#ifndef DAR_NN_LAYER_NORM_H_
+#define DAR_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace dar {
+namespace nn {
+
+/// Normalizes each row of an [m, n] input to zero mean / unit variance and
+/// applies a learned affine (gain, bias). Used by the Transformer encoder
+/// (the paper's BERT-encoder experiments, Table VI).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  /// x: [m, dim] -> [m, dim].
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  float eps_;
+  ag::Variable gain_;  // [dim]
+  ag::Variable bias_;  // [dim]
+};
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_LAYER_NORM_H_

@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+
+ag::Variable CrossEntropy(const ag::Variable& logits,
+                          const std::vector<int64_t>& labels) {
+  DAR_CHECK_EQ(logits.value().dim(), 2);
+  DAR_CHECK_EQ(logits.value().size(0), static_cast<int64_t>(labels.size()));
+  ag::Variable logp = ag::LogSoftmaxRowsOp(logits);
+  return ag::Neg(ag::Mean(ag::PickColumns(logp, labels)));
+}
+
+float Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  DAR_CHECK_EQ(logits.dim(), 2);
+  DAR_CHECK_EQ(logits.size(0), static_cast<int64_t>(labels.size()));
+  std::vector<int64_t> pred = ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0f
+                        : static_cast<float>(correct) /
+                              static_cast<float>(labels.size());
+}
+
+ag::Variable KlDivergence(const ag::Variable& p_probs,
+                          const ag::Variable& q_logits) {
+  DAR_CHECK(p_probs.value().shape() == q_logits.value().shape());
+  int64_t batch = p_probs.value().size(0);
+  ag::Variable log_q = ag::LogSoftmaxRowsOp(q_logits);
+  ag::Variable log_p = ag::Log(p_probs);
+  // sum p * (log p - log q) over classes, mean over batch.
+  ag::Variable per_elem = ag::Mul(p_probs, ag::Sub(log_p, log_q));
+  return ag::MulScalar(ag::Sum(per_elem), 1.0f / static_cast<float>(batch));
+}
+
+ag::Variable JsDivergence(const ag::Variable& logits_a,
+                          const ag::Variable& logits_b) {
+  DAR_CHECK(logits_a.value().shape() == logits_b.value().shape());
+  int64_t batch = logits_a.value().size(0);
+  ag::Variable pa = ag::SoftmaxRowsOp(logits_a);
+  ag::Variable pb = ag::SoftmaxRowsOp(logits_b);
+  ag::Variable m = ag::MulScalar(ag::Add(pa, pb), 0.5f);
+  ag::Variable log_m = ag::Log(m);
+  ag::Variable kl_am = ag::Mul(pa, ag::Sub(ag::Log(pa), log_m));
+  ag::Variable kl_bm = ag::Mul(pb, ag::Sub(ag::Log(pb), log_m));
+  ag::Variable total = ag::MulScalar(ag::Add(ag::Sum(kl_am), ag::Sum(kl_bm)), 0.5f);
+  return ag::MulScalar(total, 1.0f / static_cast<float>(batch));
+}
+
+ag::Variable BernoulliKl(const ag::Variable& p, float prior) {
+  DAR_CHECK(prior > 0.0f && prior < 1.0f);
+  // KL = p log(p/prior) + (1-p) log((1-p)/(1-prior)).
+  ag::Variable q = ag::AddScalar(ag::Neg(p), 1.0f);  // 1 - p
+  ag::Variable term1 =
+      ag::Mul(p, ag::AddScalar(ag::Log(p), -std::log(prior)));
+  ag::Variable term2 =
+      ag::Mul(q, ag::AddScalar(ag::Log(q), -std::log(1.0f - prior)));
+  return ag::Mean(ag::Add(term1, term2));
+}
+
+}  // namespace nn
+}  // namespace dar

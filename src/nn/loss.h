@@ -1,0 +1,39 @@
+// Classification losses and divergences.
+#ifndef DAR_NN_LOSS_H_
+#define DAR_NN_LOSS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace dar {
+namespace nn {
+
+/// Mean cross-entropy H_c(Y, Ŷ) of logits [B, C] against integer labels.
+/// This is the informativeness term of the rationalization objective
+/// (eq. 2) and the discriminative-alignment term of DAR (eq. 5).
+ag::Variable CrossEntropy(const ag::Variable& logits,
+                          const std::vector<int64_t>& labels);
+
+/// Fraction of rows of `logits` whose argmax equals the label.
+float Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Mean KL(P || Q) where `p_probs` are (detached) target probabilities and
+/// `q_logits` are learned logits, both [B, C].
+ag::Variable KlDivergence(const ag::Variable& p_probs,
+                          const ag::Variable& q_logits);
+
+/// Mean Jensen–Shannon divergence between two categorical distributions
+/// given by logits [B, C]. Used by the A2R baseline to tie its two
+/// predictors together.
+ag::Variable JsDivergence(const ag::Variable& logits_a,
+                          const ag::Variable& logits_b);
+
+/// Mean elementwise KL(Bernoulli(p) || Bernoulli(prior)) over a [B, T]
+/// probability tensor. Information-bottleneck prior of the VIB baseline.
+ag::Variable BernoulliKl(const ag::Variable& p, float prior);
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_LOSS_H_

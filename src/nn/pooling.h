@@ -1,0 +1,20 @@
+// Sequence pooling for padded batches.
+#ifndef DAR_NN_POOLING_H_
+#define DAR_NN_POOLING_H_
+
+#include "autograd/ops.h"
+
+namespace dar {
+namespace nn {
+
+/// Max-pools h [B, T, H] over valid time-steps -> [B, H]. Padded positions
+/// (valid == 0) never win. Each example must have at least one valid step.
+ag::Variable MaskedMaxPool(const ag::Variable& h, const Tensor& valid);
+
+/// Mean of h [B, T, H] over valid time-steps -> [B, H].
+ag::Variable MaskedMeanPool(const ag::Variable& h, const Tensor& valid);
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_POOLING_H_

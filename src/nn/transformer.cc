@@ -1,0 +1,79 @@
+#include "nn/transformer.h"
+
+#include <string>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace nn {
+
+TransformerBlock::TransformerBlock(const TransformerConfig& config, Pcg32& rng)
+    : dim_(config.dim),
+      ln1_(config.dim),
+      attention_(config.dim, config.num_heads, rng),
+      ln2_(config.dim),
+      ffn1_(config.dim, config.ffn_dim, rng),
+      ffn2_(config.ffn_dim, config.dim, rng),
+      dropout_(config.dropout, rng) {
+  RegisterChild("ln1", &ln1_);
+  RegisterChild("mha", &attention_);
+  RegisterChild("ln2", &ln2_);
+  RegisterChild("ffn1", &ffn1_);
+  RegisterChild("ffn2", &ffn2_);
+  RegisterChild("dropout", &dropout_);
+}
+
+ag::Variable TransformerBlock::Forward(const ag::Variable& x,
+                                       const Tensor& valid) const {
+  const Tensor& xv = x.value();
+  int64_t b = xv.size(0), t = xv.size(1);
+
+  // Attention sub-layer (pre-LN residual).
+  ag::Variable flat = ag::Reshape(x, Shape{b * t, dim_});
+  ag::Variable normed = ag::Reshape(ln1_.Forward(flat), Shape{b, t, dim_});
+  ag::Variable attn = attention_.Forward(normed, valid);
+  ag::Variable h = ag::Add(x, dropout_.Forward(attn));
+
+  // Feed-forward sub-layer.
+  ag::Variable h_flat = ag::Reshape(h, Shape{b * t, dim_});
+  ag::Variable ff = ffn2_.Forward(ag::Relu(ffn1_.Forward(ln2_.Forward(h_flat))));
+  ag::Variable out_flat = ag::Add(h_flat, dropout_.Forward(ff));
+  return ag::Reshape(out_flat, Shape{b, t, dim_});
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Pcg32& rng)
+    : config_(config) {
+  positional_ = RegisterParameter(
+      "pos", Tensor::Randn(Shape{config.max_len, config.dim}, rng, 0.02f));
+  blocks_.reserve(static_cast<size_t>(config.num_layers));
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(config, rng));
+    RegisterChild("block" + std::to_string(i), blocks_.back().get());
+  }
+}
+
+ag::Variable TransformerEncoder::Forward(const ag::Variable& x,
+                                         const Tensor& valid) const {
+  const Tensor& xv = x.value();
+  DAR_CHECK_EQ(xv.dim(), 3);
+  int64_t b = xv.size(0), t = xv.size(1);
+  DAR_CHECK_EQ(xv.size(2), config_.dim);
+  DAR_CHECK_LE(t, config_.max_len);
+
+  // Add trainable positional embeddings, broadcast over the batch by
+  // looking up position ids (gradients scatter back into the table).
+  std::vector<std::vector<int64_t>> pos_ids(
+      static_cast<size_t>(b), std::vector<int64_t>(static_cast<size_t>(t)));
+  for (auto& row : pos_ids) {
+    for (int64_t tt = 0; tt < t; ++tt) row[static_cast<size_t>(tt)] = tt;
+  }
+  ag::Variable pos_var = ag::EmbeddingLookup(positional_, pos_ids);
+  ag::Variable h = ag::Add(x, pos_var);
+
+  for (const auto& block : blocks_) h = block->Forward(h, valid);
+  return h;
+}
+
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,71 @@
+// Pre-LayerNorm Transformer encoder.
+//
+// Stands in for BERT in the paper's Table VI experiment: an
+// over-parameterized, *pretrainable* sequence encoder whose extra capacity
+// makes rationale shift more severe for RNP-style methods (Chen et al.
+// 2022). `PretrainMaskedToken` provides the BERT-style masked-token
+// pretraining objective over the synthetic corpus.
+#ifndef DAR_NN_TRANSFORMER_H_
+#define DAR_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace dar {
+namespace nn {
+
+/// Transformer encoder hyper-parameters.
+struct TransformerConfig {
+  int64_t dim = 32;
+  int64_t num_heads = 2;
+  int64_t ffn_dim = 64;
+  int64_t num_layers = 2;
+  int64_t max_len = 96;
+  float dropout = 0.1f;
+};
+
+/// One pre-LN block: x += MHA(LN(x)); x += FFN(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(const TransformerConfig& config, Pcg32& rng);
+
+  ag::Variable Forward(const ag::Variable& x, const Tensor& valid) const;
+
+ private:
+  int64_t dim_;
+  LayerNorm ln1_;
+  MultiHeadAttention attention_;
+  LayerNorm ln2_;
+  Linear ffn1_;
+  Linear ffn2_;
+  Dropout dropout_;
+};
+
+/// Stack of TransformerBlocks with learned positional embeddings.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Pcg32& rng);
+
+  /// x: already-embedded tokens [B, T, dim] -> contextual states
+  /// [B, T, dim]. T must not exceed config.max_len.
+  ag::Variable Forward(const ag::Variable& x, const Tensor& valid) const;
+
+  const TransformerConfig& config() const { return config_; }
+  int64_t output_dim() const { return config_.dim; }
+
+ private:
+  TransformerConfig config_;
+  ag::Variable positional_;  // [max_len, dim]
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+}  // namespace nn
+}  // namespace dar
+
+#endif  // DAR_NN_TRANSFORMER_H_

@@ -1,0 +1,42 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace dar {
+namespace optim {
+
+Adam::Adam(std::vector<ag::Variable> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.requires_grad() || !p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float gj = g[j] + config_.weight_decay * w[j];
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * gj;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * gj * gj;
+      float mhat = m[j] / bc1;
+      float vhat = v[j] / bc2;
+      w[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace dar

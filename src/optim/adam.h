@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba, 2015) — the paper's optimizer.
+#ifndef DAR_OPTIM_ADAM_H_
+#define DAR_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace optim {
+
+/// Adam hyper-parameters. Defaults match the common (and the paper's)
+/// settings apart from the learning rate, which experiments override.
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, AdamConfig config = {});
+
+  void Step() override;
+
+  /// Current learning rate (mutable for schedules).
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  AdamConfig config_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace optim
+}  // namespace dar
+
+#endif  // DAR_OPTIM_ADAM_H_

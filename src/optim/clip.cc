@@ -1,0 +1,32 @@
+#include "optim/clip.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace optim {
+
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm) {
+  DAR_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const ag::Variable& p : params) {
+    if (!p.has_grad()) continue;
+    float n = Norm2(p.grad());
+    total += static_cast<double>(n) * n;
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    float scale = max_norm / (norm + 1e-8f);
+    for (const ag::Variable& p : params) {
+      if (!p.has_grad()) continue;
+      // grad() is const; scale through the node's mutable tensor.
+      ScaleInPlace(const_cast<Tensor&>(p.grad()), scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace dar

@@ -1,0 +1,19 @@
+// Gradient clipping.
+#ifndef DAR_OPTIM_CLIP_H_
+#define DAR_OPTIM_CLIP_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace dar {
+namespace optim {
+
+/// Scales all gradients so that their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. Parameters without gradients are skipped.
+float ClipGradNorm(const std::vector<ag::Variable>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace dar
+
+#endif  // DAR_OPTIM_CLIP_H_

@@ -1,0 +1,43 @@
+// Optimizer interface.
+#ifndef DAR_OPTIM_OPTIMIZER_H_
+#define DAR_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace dar {
+namespace optim {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+///
+/// Parameters are Variable handles shared with the owning modules; Step()
+/// updates their values in place from the accumulated gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the current gradients. Parameters without an
+  /// accumulated gradient (e.g. frozen or unused this step) are skipped.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (ag::Variable& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+};
+
+}  // namespace optim
+}  // namespace dar
+
+#endif  // DAR_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,73 @@
+// Learning-rate schedules.
+//
+// Header-only: schedules are tiny value types that map a step index to a
+// multiplier on the base learning rate; apply with `Apply(optimizer, step)`.
+#ifndef DAR_OPTIM_SCHEDULE_H_
+#define DAR_OPTIM_SCHEDULE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace optim {
+
+/// Constant multiplier (the default the paper uses: fixed Adam lr).
+struct ConstantSchedule {
+  float Multiplier(int64_t step) const {
+    (void)step;
+    return 1.0f;
+  }
+};
+
+/// Linear warmup to 1.0 over `warmup_steps`, constant afterwards.
+struct WarmupSchedule {
+  int64_t warmup_steps = 100;
+
+  float Multiplier(int64_t step) const {
+    DAR_CHECK_GT(warmup_steps, 0);
+    if (step >= warmup_steps) return 1.0f;
+    return static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+};
+
+/// Multiplies by `gamma` every `period` steps (classic step decay).
+struct StepDecaySchedule {
+  int64_t period = 1000;
+  float gamma = 0.5f;
+
+  float Multiplier(int64_t step) const {
+    DAR_CHECK_GT(period, 0);
+    return std::pow(gamma, static_cast<float>(step / period));
+  }
+};
+
+/// Cosine decay from 1.0 to `floor` over `total_steps` (then stays at
+/// `floor`).
+struct CosineSchedule {
+  int64_t total_steps = 1000;
+  float floor = 0.0f;
+
+  float Multiplier(int64_t step) const {
+    DAR_CHECK_GT(total_steps, 0);
+    if (step >= total_steps) return floor;
+    float progress = static_cast<float>(step) / static_cast<float>(total_steps);
+    float cosine = 0.5f * (1.0f + std::cos(3.14159265358979323846f * progress));
+    return floor + (1.0f - floor) * cosine;
+  }
+};
+
+/// Sets `optimizer`'s learning rate to base_lr * schedule(step).
+/// Optimizer must expose set_lr (Adam and Sgd both do).
+template <typename Optimizer, typename Schedule>
+void ApplySchedule(Optimizer& optimizer, const Schedule& schedule,
+                   float base_lr, int64_t step) {
+  optimizer.set_lr(base_lr * schedule.Multiplier(step));
+}
+
+}  // namespace optim
+}  // namespace dar
+
+#endif  // DAR_OPTIM_SCHEDULE_H_

@@ -1,0 +1,28 @@
+#include "optim/sgd.h"
+
+namespace dar {
+namespace optim {
+
+Sgd::Sgd(std::vector<ag::Variable> params, SgdConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const ag::Variable& p : params_) velocity_.emplace_back(p.value().shape());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.requires_grad() || !p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    float* vel = velocity_[i].data();
+    int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      vel[j] = config_.momentum * vel[j] + g[j];
+      w[j] -= config_.lr * vel[j];
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace dar

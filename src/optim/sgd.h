@@ -1,0 +1,37 @@
+// Plain SGD with optional momentum (used by tests and the ablations).
+#ifndef DAR_OPTIM_SGD_H_
+#define DAR_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace dar {
+namespace optim {
+
+/// SGD configuration.
+struct SgdConfig {
+  float lr = 1e-2f;
+  float momentum = 0.0f;
+};
+
+/// Stochastic gradient descent: w -= lr * (momentum-buffered) grad.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, SgdConfig config = {});
+
+  void Step() override;
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace dar
+
+#endif  // DAR_OPTIM_SGD_H_

@@ -1,0 +1,53 @@
+// Invariant-checking macros used throughout the library.
+//
+// The project follows the Google C++ style guide and does not use
+// exceptions. Programming errors (shape mismatches, out-of-range indices,
+// broken invariants) abort the process with a diagnostic; recoverable
+// conditions are expressed through return values instead.
+#ifndef DAR_TENSOR_CHECK_H_
+#define DAR_TENSOR_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dar {
+namespace internal {
+
+/// Prints a fatal diagnostic and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "DAR_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dar
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build types:
+/// a training run that silently continues past a shape mismatch produces
+/// numbers that look plausible and are wrong, which is worse than a crash.
+#define DAR_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dar::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                  \
+  } while (0)
+
+/// DAR_CHECK with an additional literal message.
+#define DAR_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dar::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);    \
+    }                                                                  \
+  } while (0)
+
+#define DAR_CHECK_EQ(a, b) DAR_CHECK((a) == (b))
+#define DAR_CHECK_NE(a, b) DAR_CHECK((a) != (b))
+#define DAR_CHECK_LT(a, b) DAR_CHECK((a) < (b))
+#define DAR_CHECK_LE(a, b) DAR_CHECK((a) <= (b))
+#define DAR_CHECK_GT(a, b) DAR_CHECK((a) > (b))
+#define DAR_CHECK_GE(a, b) DAR_CHECK((a) >= (b))
+
+#endif  // DAR_TENSOR_CHECK_H_

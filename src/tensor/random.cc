@@ -1,0 +1,76 @@
+#include "tensor/random.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace dar {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+float Pcg32::NextFloat() {
+  // 24 high bits -> [0, 1) with full float precision.
+  return static_cast<float>(NextU32() >> 8) * (1.0f / 16777216.0f);
+}
+
+float Pcg32::Uniform(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+float Pcg32::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller; u1 is kept away from zero so log() is finite.
+  float u1 = 0.0f;
+  do {
+    u1 = NextFloat();
+  } while (u1 <= 1e-12f);
+  float u2 = NextFloat();
+  float mag = std::sqrt(-2.0f * std::log(u1));
+  float two_pi_u2 = 6.28318530717958647692f * u2;
+  spare_ = mag * std::sin(two_pi_u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi_u2);
+}
+
+float Pcg32::Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+uint32_t Pcg32::Below(uint32_t n) {
+  DAR_CHECK_GT(n, 0u);
+  // Debiased modulo (Lemire-style rejection).
+  uint32_t threshold = (0u - n) % n;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Pcg32::Bernoulli(float p) { return NextFloat() < p; }
+
+float Pcg32::Gumbel() {
+  float u = 0.0f;
+  do {
+    u = NextFloat();
+  } while (u <= 1e-12f);
+  return -std::log(-std::log(u));
+}
+
+Pcg32 Pcg32::Split() {
+  uint64_t seed = (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  uint64_t stream = (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  return Pcg32(seed, stream | 1u);
+}
+
+}  // namespace dar

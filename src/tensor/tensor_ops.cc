@@ -1,0 +1,369 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace dar {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  DAR_CHECK_MSG(a.shape() == b.shape(), "elementwise op requires equal shapes");
+}
+
+template <typename Fn>
+Tensor Binary(const Tensor& a, const Tensor& b, Fn fn) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+template <typename Fn>
+Tensor Unary(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x / y; });
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void AxpyInPlace(Tensor& a, const Tensor& b, float scale) {
+  CheckSameShape(a, b);
+  float* pa = a.data();
+  const float* pb = b.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += scale * pb[i];
+}
+
+void ScaleInPlace(Tensor& a, float s) {
+  float* pa = a.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return Unary(a, fn);
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return Unary(a, [eps](float x) { return std::log(std::max(x, eps)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Unary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DAR_CHECK_EQ(a.dim(), 2);
+  DAR_CHECK_EQ(b.dim(), 2);
+  int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  DAR_CHECK_EQ(b.size(0), k);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j ordering: the inner j loop streams both B's row and C's row,
+  // which auto-vectorizes well and is cache-friendly for row-major data.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTA(const Tensor& a, const Tensor& b) {
+  DAR_CHECK_EQ(a.dim(), 2);
+  DAR_CHECK_EQ(b.dim(), 2);
+  int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  DAR_CHECK_EQ(b.size(0), k);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i, j] = sum_kk A[kk, i] * B[kk, j]; iterate kk outermost so both A and
+  // B rows stream contiguously.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTB(const Tensor& a, const Tensor& b) {
+  DAR_CHECK_EQ(a.dim(), 2);
+  DAR_CHECK_EQ(b.dim(), 2);
+  int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  DAR_CHECK_EQ(b.size(1), k);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i, j] = dot(A row i, B row j): both rows contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
+  DAR_CHECK_EQ(matrix.dim(), 2);
+  DAR_CHECK_EQ(row.dim(), 1);
+  int64_t m = matrix.size(0), n = matrix.size(1);
+  DAR_CHECK_EQ(row.size(0), n);
+  Tensor out = matrix;
+  float* po = out.data();
+  const float* pr = row.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] += pr[j];
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& matrix) {
+  DAR_CHECK_EQ(matrix.dim(), 2);
+  int64_t m = matrix.size(0), n = matrix.size(1);
+  Tensor out(Shape{n});
+  const float* pm = matrix.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pm + i * n;
+    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Tensor& a) {
+  DAR_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<float>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  DAR_CHECK_GT(a.numel(), 0);
+  const float* pa = a.data();
+  float best = pa[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::max(best, pa[i]);
+  return best;
+}
+
+float MinAll(const Tensor& a) {
+  DAR_CHECK_GT(a.numel(), 0);
+  const float* pa = a.data();
+  float best = pa[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::min(best, pa[i]);
+  return best;
+}
+
+std::vector<int64_t> ArgMaxRows(const Tensor& matrix) {
+  DAR_CHECK_EQ(matrix.dim(), 2);
+  int64_t m = matrix.size(0), n = matrix.size(1);
+  DAR_CHECK_GT(n, 0);
+  std::vector<int64_t> out(static_cast<size_t>(m));
+  const float* pm = matrix.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pm + i * n;
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  DAR_CHECK_EQ(logits.dim(), 2);
+  int64_t m = logits.size(0), n = logits.size(1);
+  Tensor out(logits.shape());
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pl + i * n;
+    float* orow = po + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int64_t j = 0; j < n; ++j) orow[j] /= denom;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& logits) {
+  DAR_CHECK_EQ(logits.dim(), 2);
+  int64_t m = logits.size(0), n = logits.size(1);
+  Tensor out(logits.shape());
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pl + i * n;
+    float* orow = po + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    float log_denom = std::log(denom) + mx;
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - log_denom;
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  DAR_CHECK_EQ(a.dim(), 2);
+  int64_t m = a.size(0), n = a.size(1);
+  Tensor out(Shape{n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  DAR_CHECK_EQ(a.dim(), 2);
+  DAR_CHECK_EQ(b.dim(), 2);
+  DAR_CHECK_EQ(a.size(0), b.size(0));
+  int64_t m = a.size(0), na = a.size(1), nb = b.size(1);
+  Tensor out(Shape{m, na + nb});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy(pa + i * na, pa + (i + 1) * na, po + i * (na + nb));
+    std::copy(pb + i * nb, pb + (i + 1) * nb, po + i * (na + nb) + na);
+  }
+  return out;
+}
+
+Tensor SliceTime(const Tensor& x, int64_t t) {
+  DAR_CHECK_EQ(x.dim(), 3);
+  int64_t b = x.size(0), time = x.size(1), d = x.size(2);
+  DAR_CHECK(t >= 0 && t < time);
+  Tensor out(Shape{b, d});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* src = px + (i * time + t) * d;
+    std::copy(src, src + d, po + i * d);
+  }
+  return out;
+}
+
+void SetTime(Tensor& x, int64_t t, const Tensor& step) {
+  DAR_CHECK_EQ(x.dim(), 3);
+  DAR_CHECK_EQ(step.dim(), 2);
+  int64_t b = x.size(0), time = x.size(1), d = x.size(2);
+  DAR_CHECK(t >= 0 && t < time);
+  DAR_CHECK_EQ(step.size(0), b);
+  DAR_CHECK_EQ(step.size(1), d);
+  float* px = x.data();
+  const float* ps = step.data();
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(ps + i * d, ps + (i + 1) * d, px + (i * time + t) * d);
+  }
+}
+
+float Norm2(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(pa[i]) * pa[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace dar

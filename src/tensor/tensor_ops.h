@@ -1,0 +1,108 @@
+// Raw compute kernels over Tensor.
+//
+// These are the non-differentiable building blocks; the autograd layer
+// composes them into differentiable ops. All functions are shape-checked
+// and allocate their outputs (value semantics); the few in-place variants
+// are suffixed InPlace and exist for the optimizer hot path.
+#ifndef DAR_TENSOR_TENSOR_OPS_H_
+#define DAR_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace dar {
+
+// ---- Elementwise binary (equal shapes) -------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// a += b (equal shapes). Used by gradient accumulation and optimizers.
+void AddInPlace(Tensor& a, const Tensor& b);
+
+/// a += scale * b (equal shapes).
+void AxpyInPlace(Tensor& a, const Tensor& b, float scale);
+
+/// a *= s.
+void ScaleInPlace(Tensor& a, float s);
+
+// ---- Elementwise with scalar ------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Elementwise unary -------------------------------------------------------
+
+/// Applies `fn` elementwise.
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log of max(a, eps): keeps log finite for near-zero probabilities.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+
+// ---- Matrix multiplication ---------------------------------------------------
+
+/// C = A * B for 2-D A [m, k] and B [k, n]. Cache-blocked i-k-j loop.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B for A [k, m], B [k, n] -> [m, n]. (Backward helper.)
+Tensor MatMulTA(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T for A [m, k], B [n, k] -> [m, n]. (Backward helper.)
+Tensor MatMulTB(const Tensor& a, const Tensor& b);
+
+// ---- Broadcast helpers ----------------------------------------------------
+
+/// Adds a length-n row vector to every row of an [m, n] matrix.
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row);
+
+/// Sums an [m, n] matrix over rows into a length-n vector.
+Tensor SumRows(const Tensor& matrix);
+
+// ---- Reductions ----------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+
+/// Index of the maximum element in each row of an [m, n] matrix.
+std::vector<int64_t> ArgMaxRows(const Tensor& matrix);
+
+// ---- Row-wise softmax ------------------------------------------------------
+
+/// Numerically stable softmax of each row of an [m, n] matrix.
+Tensor SoftmaxRows(const Tensor& logits);
+
+/// Numerically stable log-softmax of each row of an [m, n] matrix.
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+// ---- Shape utilities --------------------------------------------------------
+
+/// Transposes a 2-D matrix.
+Tensor Transpose(const Tensor& a);
+
+/// Concatenates 2-D matrices with equal row counts along columns.
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Extracts time-step t of a [batch, time, dim] tensor as [batch, dim].
+Tensor SliceTime(const Tensor& x, int64_t t);
+
+/// Writes [batch, dim] into time-step t of [batch, time, dim].
+void SetTime(Tensor& x, int64_t t, const Tensor& step);
+
+/// Frobenius norm.
+float Norm2(const Tensor& a);
+
+}  // namespace dar
+
+#endif  // DAR_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,124 @@
+// Tests for nn/checkpoint.h: parameter save/restore.
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace dar {
+namespace nn {
+namespace {
+
+TEST(CheckpointTest, RoundTripLinear) {
+  Pcg32 rng(1);
+  Linear a(4, 3, rng), b(4, 3, rng);
+  ASSERT_FALSE(a.weight().value().AllClose(b.weight().value()));
+  std::string text = SerializeCheckpoint(a);
+  CheckpointResult result = DeserializeCheckpoint(b, text);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(a.weight().value().AllClose(b.weight().value(), 1e-6f));
+  EXPECT_TRUE(a.bias().value().AllClose(b.bias().value(), 1e-6f));
+}
+
+TEST(CheckpointTest, RoundTripNestedModule) {
+  Pcg32 rng(2);
+  BiGru a(3, 4, rng), b(3, 4, rng);
+  CheckpointResult result = DeserializeCheckpoint(b, SerializeCheckpoint(a));
+  ASSERT_TRUE(result.ok) << result.error;
+  std::vector<NamedParameter> pa = a.Parameters(), pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].variable.value().AllClose(pb[i].variable.value(), 1e-6f))
+        << pa[i].name;
+  }
+}
+
+TEST(CheckpointTest, RejectsBadMagic) {
+  Pcg32 rng(3);
+  Linear linear(2, 2, rng);
+  CheckpointResult result = DeserializeCheckpoint(linear, "NOTCKPT 1\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("magic"), std::string::npos);
+}
+
+TEST(CheckpointTest, RejectsWrongArchitecture) {
+  Pcg32 rng(4);
+  Linear small(2, 2, rng);
+  Linear big(3, 3, rng);
+  CheckpointResult result =
+      DeserializeCheckpoint(big, SerializeCheckpoint(small));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("shape mismatch"), std::string::npos);
+}
+
+TEST(CheckpointTest, RejectsWrongParameterCount) {
+  Pcg32 rng(5);
+  Linear linear(2, 2, rng);
+  BiGru gru(2, 2, rng);
+  CheckpointResult result =
+      DeserializeCheckpoint(gru, SerializeCheckpoint(linear));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("count mismatch"), std::string::npos);
+}
+
+TEST(CheckpointTest, RejectsTruncatedValues) {
+  Pcg32 rng(6);
+  Linear linear(2, 2, rng);
+  std::string text = SerializeCheckpoint(linear);
+  text.resize(text.size() / 2);
+  Linear other(2, 2, rng);
+  EXPECT_FALSE(DeserializeCheckpoint(other, text).ok);
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  Pcg32 rng(7);
+  Linear a(3, 2, rng), b(3, 2, rng);
+  std::string path = ::testing::TempDir() + "/dar_checkpoint_test.ckpt";
+  ASSERT_TRUE(SaveCheckpoint(a, path));
+  CheckpointResult result = LoadCheckpoint(b, path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(a.weight().value().AllClose(b.weight().value(), 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileReportsError) {
+  Pcg32 rng(8);
+  Linear linear(2, 2, rng);
+  CheckpointResult result = LoadCheckpoint(linear, "/nonexistent/x.ckpt");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+TEST(CheckpointTest, PreservesValuesAcrossWholePredictor) {
+  // End-to-end: a core::Predictor's full state survives a round trip and
+  // produces identical logits.
+  core::TrainConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 6;
+  config.dropout = 0.0f;
+  Pcg32 rng(9);
+  Tensor embeddings = Tensor::Randn({12, 8}, rng, 0.3f);
+  Pcg32 r1(10), r2(11);
+  core::Predictor a(embeddings, config, r1);
+  core::Predictor b(embeddings, config, r2);
+  a.SetTraining(false);
+  b.SetTraining(false);
+
+  std::vector<data::Example> examples = {{{2, 3, 4, 5}, 1, {}}};
+  data::Batch batch = data::Batch::FromExamples(examples, 0, 1, 0);
+  Tensor before_a = a.ForwardFullText(batch).value();
+  Tensor before_b = b.ForwardFullText(batch).value();
+  ASSERT_FALSE(before_a.AllClose(before_b, 1e-6f));
+
+  CheckpointResult result = DeserializeCheckpoint(b, SerializeCheckpoint(a));
+  ASSERT_TRUE(result.ok) << result.error;
+  Tensor after_b = b.ForwardFullText(batch).value();
+  EXPECT_TRUE(before_a.AllClose(after_b, 1e-5f));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dar

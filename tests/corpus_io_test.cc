@@ -1,0 +1,146 @@
+// Tests for data/corpus_io.h: the plain-text corpus format.
+#include "data/corpus_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dar {
+namespace data {
+namespace {
+
+TEST(ParseCorpusTest, BasicExamples) {
+  Vocabulary vocab;
+  CorpusLoadResult result = ParseCorpus(
+      "1\tthe beer is golden\n"
+      "0\tmurky pour\n",
+      vocab, /*grow_vocabulary=*/true);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.examples.size(), 2u);
+  EXPECT_EQ(result.examples[0].label, 1);
+  EXPECT_EQ(result.examples[0].tokens.size(), 4u);
+  EXPECT_EQ(result.examples[1].label, 0);
+  EXPECT_TRUE(result.examples[0].rationale.empty());
+  EXPECT_TRUE(vocab.Contains("golden"));
+}
+
+TEST(ParseCorpusTest, RationaleBits) {
+  Vocabulary vocab;
+  CorpusLoadResult result = ParseCorpus("1\ta b c\t010\n", vocab, true);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.examples[0].rationale.size(), 3u);
+  EXPECT_EQ(result.examples[0].rationale[0], 0);
+  EXPECT_EQ(result.examples[0].rationale[1], 1);
+}
+
+TEST(ParseCorpusTest, SkipsCommentsAndBlanks) {
+  Vocabulary vocab;
+  CorpusLoadResult result =
+      ParseCorpus("# header\n\n1\tx y\n\n# trailing\n", vocab, true);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.examples.size(), 1u);
+}
+
+TEST(ParseCorpusTest, WindowsLineEndings) {
+  Vocabulary vocab;
+  CorpusLoadResult result = ParseCorpus("1\ta b\r\n0\tc d\r\n", vocab, true);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.examples.size(), 2u);
+  EXPECT_EQ(result.examples[0].tokens.size(), 2u);
+}
+
+TEST(ParseCorpusTest, FrozenVocabularyMapsToUnk) {
+  Vocabulary vocab;
+  vocab.AddToken("known");
+  CorpusLoadResult result =
+      ParseCorpus("0\tknown unknown\n", vocab, /*grow_vocabulary=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.examples[0].tokens[0], vocab.IdOrUnk("known"));
+  EXPECT_EQ(result.examples[0].tokens[1], Vocabulary::kUnkId);
+  EXPECT_FALSE(vocab.Contains("unknown"));
+}
+
+TEST(ParseCorpusTest, RejectsBadLabel) {
+  Vocabulary vocab;
+  CorpusLoadResult result = ParseCorpus("abc\tx y\n", vocab, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 1"), std::string::npos);
+}
+
+TEST(ParseCorpusTest, RejectsNegativeLabel) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseCorpus("-1\tx\n", vocab, true).ok);
+}
+
+TEST(ParseCorpusTest, RejectsFieldCountErrors) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseCorpus("1\n", vocab, true).ok);
+  EXPECT_FALSE(ParseCorpus("1\ta\t1\textra\n", vocab, true).ok);
+}
+
+TEST(ParseCorpusTest, RejectsEmptyTokenList) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseCorpus("1\t \n", vocab, true).ok);
+}
+
+TEST(ParseCorpusTest, RejectsRationaleLengthMismatch) {
+  Vocabulary vocab;
+  CorpusLoadResult result = ParseCorpus("1\ta b c\t01\n", vocab, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("length"), std::string::npos);
+}
+
+TEST(ParseCorpusTest, RejectsNonBinaryRationale) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseCorpus("1\ta b\t0x\n", vocab, true).ok);
+}
+
+TEST(FormatCorpusTest, RoundTrip) {
+  Vocabulary vocab;
+  std::vector<Example> examples;
+  {
+    CorpusLoadResult parsed = ParseCorpus(
+        "1\tthe head is pale\t0011\n"
+        "0\tgreat beer\n",
+        vocab, true);
+    ASSERT_TRUE(parsed.ok);
+    examples = std::move(parsed.examples);
+  }
+  std::string text = FormatCorpus(examples, vocab);
+  Vocabulary vocab2;
+  CorpusLoadResult reparsed = ParseCorpus(text, vocab2, true);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  ASSERT_EQ(reparsed.examples.size(), examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_EQ(reparsed.examples[i].label, examples[i].label);
+    EXPECT_EQ(reparsed.examples[i].tokens.size(), examples[i].tokens.size());
+    EXPECT_EQ(reparsed.examples[i].rationale, examples[i].rationale);
+  }
+}
+
+TEST(CorpusFileTest, SaveAndLoad) {
+  Vocabulary vocab;
+  CorpusLoadResult parsed =
+      ParseCorpus("1\tx y z\t101\n", vocab, true);
+  ASSERT_TRUE(parsed.ok);
+  std::string path = ::testing::TempDir() + "/dar_corpus_test.txt";
+  ASSERT_TRUE(SaveCorpusFile(path, parsed.examples, vocab));
+  Vocabulary vocab2;
+  CorpusLoadResult loaded = LoadCorpusFile(path, vocab2, true);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.examples.size(), 1u);
+  EXPECT_EQ(loaded.examples[0].rationale.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusFileTest, MissingFileReportsError) {
+  Vocabulary vocab;
+  CorpusLoadResult result =
+      LoadCorpusFile("/nonexistent/path/corpus.txt", vocab, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dar

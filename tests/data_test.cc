@@ -1,0 +1,199 @@
+// Tests for the data layer: vocabulary, tokenizer, batching, data loading,
+// synthetic embeddings.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/batch.h"
+#include "data/dataloader.h"
+#include "data/synthetic_glove.h"
+#include "data/tokenizer.h"
+#include "data/vocabulary.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace data {
+namespace {
+
+TEST(VocabularyTest, ReservedTokens) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.Token(Vocabulary::kPadId), "<pad>");
+  EXPECT_EQ(vocab.Token(Vocabulary::kUnkId), "<unk>");
+}
+
+TEST(VocabularyTest, AddIsIdempotent) {
+  Vocabulary vocab;
+  int64_t id1 = vocab.AddToken("beer");
+  int64_t id2 = vocab.AddToken("beer");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(vocab.size(), 3);
+}
+
+TEST(VocabularyTest, LookupBehaviour) {
+  Vocabulary vocab;
+  int64_t id = vocab.AddToken("hoppy");
+  EXPECT_EQ(vocab.IdOrUnk("hoppy"), id);
+  EXPECT_EQ(vocab.IdOrUnk("nonexistent"), Vocabulary::kUnkId);
+  EXPECT_TRUE(vocab.TryId("hoppy").has_value());
+  EXPECT_FALSE(vocab.TryId("nonexistent").has_value());
+  EXPECT_TRUE(vocab.Contains("hoppy"));
+}
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  std::vector<std::string> tokens = Tokenize("  the  head is\tpale \n");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[3], "pale");
+}
+
+TEST(TokenizerTest, EmptyString) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ").empty());
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTrip) {
+  Vocabulary vocab;
+  vocab.AddToken("the");
+  vocab.AddToken("head");
+  std::vector<int64_t> ids = Encode("the head the", vocab);
+  EXPECT_EQ(Decode(ids, vocab), "the head the");
+}
+
+TEST(TokenizerTest, UnknownBecomesUnk) {
+  Vocabulary vocab;
+  std::vector<int64_t> ids = Encode("mystery", vocab);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], Vocabulary::kUnkId);
+}
+
+std::vector<Example> MakeExamples() {
+  return {
+      {{5, 6, 7}, 1, {0, 1, 0}},
+      {{8, 9}, 0, {}},
+      {{10, 11, 12, 13, 14}, 1, {1, 0, 0, 0, 1}},
+  };
+}
+
+TEST(BatchTest, PadsToLongest) {
+  std::vector<Example> examples = MakeExamples();
+  Batch batch = Batch::FromExamples(examples, 0, 3, /*pad_id=*/0);
+  EXPECT_EQ(batch.batch_size(), 3);
+  EXPECT_EQ(batch.max_len(), 5);
+  EXPECT_EQ(batch.tokens[0][3], 0);  // padded
+  EXPECT_EQ(batch.tokens[2][4], 14);
+}
+
+TEST(BatchTest, ValidityMask) {
+  std::vector<Example> examples = MakeExamples();
+  Batch batch = Batch::FromExamples(examples, 0, 3, 0);
+  EXPECT_EQ(batch.valid.at(0, 2), 1.0f);
+  EXPECT_EQ(batch.valid.at(0, 3), 0.0f);
+  EXPECT_EQ(batch.valid.at(1, 1), 1.0f);
+  EXPECT_EQ(batch.valid.at(1, 2), 0.0f);
+  EXPECT_EQ(batch.valid.at(2, 4), 1.0f);
+}
+
+TEST(BatchTest, RationalesPaddedOrEmpty) {
+  std::vector<Example> examples = MakeExamples();
+  Batch batch = Batch::FromExamples(examples, 0, 3, 0);
+  EXPECT_EQ(batch.rationales[0].size(), 5u);
+  EXPECT_EQ(batch.rationales[0][1], 1);
+  EXPECT_EQ(batch.rationales[0][4], 0);  // padded tail
+  EXPECT_TRUE(batch.rationales[1].empty());  // unannotated example
+}
+
+TEST(BatchTest, SubRange) {
+  std::vector<Example> examples = MakeExamples();
+  Batch batch = Batch::FromExamples(examples, 1, 2, 0);
+  EXPECT_EQ(batch.batch_size(), 2);
+  EXPECT_EQ(batch.labels[0], 0);
+  EXPECT_EQ(batch.labels[1], 1);
+}
+
+TEST(DataLoaderTest, SequentialCoversAllExamples) {
+  std::vector<Example> examples(10, Example{{1, 2}, 0, {}});
+  DataLoader loader(examples, 3, /*shuffle=*/false);
+  std::vector<Batch> batches = loader.Sequential();
+  ASSERT_EQ(batches.size(), 4u);  // 3+3+3+1
+  EXPECT_EQ(batches.back().batch_size(), 1);
+}
+
+TEST(DataLoaderTest, EpochIsPermutation) {
+  std::vector<Example> examples;
+  for (int64_t i = 0; i < 20; ++i) examples.push_back({{100 + i}, 0, {}});
+  DataLoader loader(examples, 7, /*shuffle=*/true);
+  Pcg32 rng(1);
+  std::vector<Batch> batches = loader.Epoch(rng);
+  std::multiset<int64_t> seen;
+  for (const Batch& b : batches) {
+    for (const auto& toks : b.tokens) seen.insert(toks[0]);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+  for (int64_t i = 0; i < 20; ++i) EXPECT_EQ(seen.count(100 + i), 1u);
+}
+
+TEST(DataLoaderTest, ShuffleIsDeterministicGivenSeed) {
+  std::vector<Example> examples;
+  for (int64_t i = 0; i < 16; ++i) examples.push_back({{i}, 0, {}});
+  DataLoader l1(examples, 4, true), l2(examples, 4, true);
+  Pcg32 r1(9), r2(9);
+  std::vector<Batch> b1 = l1.Epoch(r1), b2 = l2.Epoch(r2);
+  ASSERT_EQ(b1.size(), b2.size());
+  for (size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(b1[i].tokens, b2[i].tokens);
+  }
+}
+
+TEST(SyntheticGloveTest, PadRowIsZero) {
+  Pcg32 rng(2);
+  Tensor table = BuildSyntheticGlove({-1, -1, 0, 0, 1}, {.dim = 8}, rng);
+  for (int64_t j = 0; j < 8; ++j) EXPECT_EQ(table.at(0, j), 0.0f);
+}
+
+TEST(SyntheticGloveTest, FamiliesClusterTighterThanAcross) {
+  Pcg32 rng(3);
+  // Tokens 1-8: family 0; 9-16: family 1.
+  std::vector<int32_t> family(17, -1);
+  for (int i = 1; i <= 8; ++i) family[static_cast<size_t>(i)] = 0;
+  for (int i = 9; i <= 16; ++i) family[static_cast<size_t>(i)] = 1;
+  SyntheticGloveConfig config;
+  config.dim = 16;
+  Tensor table = BuildSyntheticGlove(family, config, rng);
+
+  auto dist = [&](int64_t a, int64_t b) {
+    double d = 0.0;
+    for (int64_t j = 0; j < config.dim; ++j) {
+      double diff = table.at(a, j) - table.at(b, j);
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  };
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (int64_t a = 1; a <= 8; ++a) {
+    for (int64_t b = a + 1; b <= 8; ++b) {
+      within += dist(a, b);
+      ++wn;
+    }
+    for (int64_t b = 9; b <= 16; ++b) {
+      across += dist(a, b);
+      ++an;
+    }
+  }
+  EXPECT_LT(within / wn, 0.6 * across / an);
+}
+
+TEST(SyntheticGloveTest, DeterministicGivenSeed) {
+  Pcg32 r1(4), r2(4);
+  std::vector<int32_t> family{-1, 0, 0, 1};
+  Tensor t1 = BuildSyntheticGlove(family, {.dim = 4}, r1);
+  Tensor t2 = BuildSyntheticGlove(family, {.dim = 4}, r2);
+  EXPECT_TRUE(t1.AllClose(t2));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dar

@@ -1,0 +1,298 @@
+// Tests for the synthetic review generator and the Beer/Hotel dataset
+// configurations — the substitution for the paper's corpora.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/beer.h"
+#include "datasets/hotel.h"
+#include "datasets/synthetic_review.h"
+
+namespace dar {
+namespace datasets {
+namespace {
+
+ReviewConfig TinyBeerConfig() {
+  ReviewConfig config = BeerReviewConfig(BeerAspect::kAroma,
+                                         /*shortcut_strength=*/0.0f);
+  // Most structural tests want the noise-free causal skeleton; noise has
+  // its own dedicated test below.
+  config.polarity_noise = 0.0f;
+  return config;
+}
+
+TEST(LexiconTest, AspectsAreWellFormed) {
+  for (const auto& aspects : {BeerAspects(), HotelAspects()}) {
+    EXPECT_EQ(aspects.size(), 5u);
+    for (const AspectLexicon& a : aspects) {
+      EXPECT_FALSE(a.name.empty());
+      EXPECT_GE(a.positive.size(), 6u);
+      EXPECT_GE(a.negative.size(), 6u);
+      EXPECT_GE(a.neutral.size(), 3u);
+    }
+  }
+}
+
+TEST(LexiconTest, PolaritySetsAreDisjoint) {
+  for (const AspectLexicon& a : BeerAspects()) {
+    std::set<std::string> pos(a.positive.begin(), a.positive.end());
+    for (const std::string& n : a.negative) {
+      EXPECT_EQ(pos.count(n), 0u) << a.name << ": " << n;
+    }
+  }
+}
+
+TEST(LexiconTest, FirstBeerAspectIsAppearance) {
+  // Table VII's skewed-predictor setting depends on this ordering.
+  EXPECT_EQ(BeerAspects()[0].name, "appearance");
+}
+
+TEST(GeneratorTest, VocabularyCoversAllLexicons) {
+  SyntheticReviewGenerator generator(TinyBeerConfig(), 1);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  for (const AspectLexicon& a : BeerAspects()) {
+    for (const std::string& t : a.positive) EXPECT_TRUE(vocab.Contains(t));
+    for (const std::string& t : a.negative) EXPECT_TRUE(vocab.Contains(t));
+    for (const std::string& t : a.neutral) EXPECT_TRUE(vocab.Contains(t));
+  }
+  EXPECT_TRUE(vocab.Contains("<mask>"));
+  EXPECT_EQ(static_cast<int64_t>(family.size()), vocab.size());
+}
+
+TEST(GeneratorTest, FamiliesGroupAspectPolarities) {
+  SyntheticReviewGenerator generator(TinyBeerConfig(), 1);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  const AspectLexicon& aroma = BeerAspects()[1];
+  int32_t f0 = family[static_cast<size_t>(vocab.IdOrUnk(aroma.positive[0]))];
+  for (const std::string& t : aroma.positive) {
+    EXPECT_EQ(family[static_cast<size_t>(vocab.IdOrUnk(t))], f0);
+  }
+  int32_t fneg = family[static_cast<size_t>(vocab.IdOrUnk(aroma.negative[0]))];
+  EXPECT_NE(f0, fneg);
+  // Fillers have no family.
+  EXPECT_EQ(family[static_cast<size_t>(vocab.IdOrUnk("the"))], -1);
+}
+
+TEST(GeneratorTest, ExampleContainsTargetPolarityTokens) {
+  ReviewConfig config = TinyBeerConfig();
+  SyntheticReviewGenerator generator(config, 2);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  const AspectLexicon& aroma = config.aspects[1];
+  std::set<int64_t> pos_ids, neg_ids;
+  for (const std::string& t : aroma.positive) pos_ids.insert(vocab.IdOrUnk(t));
+  for (const std::string& t : aroma.negative) neg_ids.insert(vocab.IdOrUnk(t));
+
+  Pcg32 rng(3);
+  for (int64_t label = 0; label <= 1; ++label) {
+    for (int trial = 0; trial < 20; ++trial) {
+      data::Example ex = generator.MakeExample(vocab, label, true, rng);
+      int pos = 0, neg = 0;
+      for (int64_t id : ex.tokens) {
+        if (pos_ids.count(id)) ++pos;
+        if (neg_ids.count(id)) ++neg;
+      }
+      // The target aspect's sentence carries the label's polarity only.
+      if (label == 1) {
+        EXPECT_GE(pos, config.min_sentiment_tokens);
+        EXPECT_EQ(neg, 0);
+      } else {
+        EXPECT_GE(neg, config.min_sentiment_tokens);
+        EXPECT_EQ(pos, 0);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, AnnotationMarksTargetAspectTokens) {
+  ReviewConfig config = TinyBeerConfig();
+  config.annotate_neutral = false;  // rationale = polarity tokens only
+  SyntheticReviewGenerator generator(config, 4);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  const AspectLexicon& aroma = config.aspects[1];
+  std::set<int64_t> polarity_ids;
+  for (const std::string& t : aroma.positive) polarity_ids.insert(vocab.IdOrUnk(t));
+  for (const std::string& t : aroma.negative) polarity_ids.insert(vocab.IdOrUnk(t));
+  // Generic sentiment words inside the target sentence are gold rationale
+  // tokens too.
+  for (const std::string& t : GenericPositiveTokens()) {
+    polarity_ids.insert(vocab.IdOrUnk(t));
+  }
+  for (const std::string& t : GenericNegativeTokens()) {
+    polarity_ids.insert(vocab.IdOrUnk(t));
+  }
+
+  Pcg32 rng(5);
+  data::Example ex = generator.MakeExample(vocab, 1, true, rng);
+  ASSERT_EQ(ex.rationale.size(), ex.tokens.size());
+  for (size_t i = 0; i < ex.tokens.size(); ++i) {
+    if (ex.rationale[i]) {
+      EXPECT_TRUE(polarity_ids.count(ex.tokens[i]))
+          << "annotated token is not an aroma polarity word: "
+          << vocab.Token(ex.tokens[i]);
+    }
+  }
+}
+
+TEST(GeneratorTest, UnannotatedExamplesHaveNoRationale) {
+  SyntheticReviewGenerator generator(TinyBeerConfig(), 6);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  Pcg32 rng(7);
+  data::Example ex = generator.MakeExample(vocab, 0, false, rng);
+  EXPECT_TRUE(ex.rationale.empty());
+}
+
+TEST(GeneratorTest, SplitsAreBalancedAndAnnotatedCorrectly) {
+  SyntheticReviewGenerator generator(TinyBeerConfig(), 8);
+  SyntheticDataset ds = generator.Generate(100, 40, 40);
+  EXPECT_EQ(ds.train.size(), 100u);
+  EXPECT_EQ(ds.dev.size(), 40u);
+  EXPECT_EQ(ds.test.size(), 40u);
+  auto count_pos = [](const std::vector<data::Example>& split) {
+    return std::count_if(split.begin(), split.end(),
+                         [](const data::Example& e) { return e.label == 1; });
+  };
+  EXPECT_EQ(count_pos(ds.train), 50);
+  EXPECT_EQ(count_pos(ds.test), 20);
+  for (const data::Example& e : ds.train) EXPECT_TRUE(e.rationale.empty());
+  for (const data::Example& e : ds.test) EXPECT_FALSE(e.rationale.empty());
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  SyntheticReviewGenerator g1(TinyBeerConfig(), 99);
+  SyntheticReviewGenerator g2(TinyBeerConfig(), 99);
+  SyntheticDataset d1 = g1.Generate(20, 5, 5);
+  SyntheticDataset d2 = g2.Generate(20, 5, 5);
+  for (size_t i = 0; i < d1.train.size(); ++i) {
+    EXPECT_EQ(d1.train[i].tokens, d2.train[i].tokens);
+    EXPECT_EQ(d1.train[i].label, d2.train[i].label);
+  }
+}
+
+TEST(GeneratorTest, ShortcutFrequencyTracksStrength) {
+  ReviewConfig config = TinyBeerConfig();
+  config.shortcut_strength = 0.8f;
+  SyntheticReviewGenerator generator(config, 10);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  int64_t shortcut_id = vocab.IdOrUnk(config.shortcut_token);
+  Pcg32 rng(11);
+  int neg_with = 0, pos_with = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    data::Example ex_neg = generator.MakeExample(vocab, 0, false, rng);
+    data::Example ex_pos = generator.MakeExample(vocab, 1, false, rng);
+    if (std::count(ex_neg.tokens.begin(), ex_neg.tokens.end(), shortcut_id)) {
+      ++neg_with;
+    }
+    if (std::count(ex_pos.tokens.begin(), ex_pos.tokens.end(), shortcut_id)) {
+      ++pos_with;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(neg_with) / kTrials, 0.9, 0.06);
+  EXPECT_NEAR(static_cast<double>(pos_with) / kTrials, 0.1, 0.06);
+}
+
+TEST(GeneratorTest, PolarityNoiseFlipsTokensButNotAnnotations) {
+  ReviewConfig config = TinyBeerConfig();
+  config.polarity_noise = 0.3f;
+  SyntheticReviewGenerator generator(config, 15);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  const AspectLexicon& aroma = config.aspects[1];
+  std::set<int64_t> wrong_pool;  // negative words in a positive review
+  for (const std::string& t : aroma.negative) wrong_pool.insert(vocab.IdOrUnk(t));
+
+  Pcg32 rng(16);
+  int wrong_tokens = 0, wrong_annotated = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    data::Example ex = generator.MakeExample(vocab, /*label=*/1, true, rng);
+    for (size_t i = 0; i < ex.tokens.size(); ++i) {
+      if (wrong_pool.count(ex.tokens[i])) {
+        ++wrong_tokens;
+        if (ex.rationale[i]) ++wrong_annotated;
+      }
+    }
+  }
+  EXPECT_GT(wrong_tokens, 10);      // noise does inject hedges
+  EXPECT_EQ(wrong_annotated, 0);    // hedges are never gold rationale
+}
+
+TEST(GeneratorTest, ShortcutIsNeverAnnotated) {
+  ReviewConfig config = TinyBeerConfig();
+  config.shortcut_strength = 0.9f;
+  SyntheticReviewGenerator generator(config, 12);
+  data::Vocabulary vocab;
+  std::vector<int32_t> family;
+  generator.BuildVocabulary(vocab, family);
+  int64_t shortcut_id = vocab.IdOrUnk(config.shortcut_token);
+  Pcg32 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    data::Example ex = generator.MakeExample(vocab, 0, true, rng);
+    for (size_t i = 0; i < ex.tokens.size(); ++i) {
+      if (ex.tokens[i] == shortcut_id) EXPECT_EQ(ex.rationale[i], 0);
+    }
+  }
+}
+
+class SparsityCase
+    : public ::testing::TestWithParam<std::tuple<int, float, float>> {};
+
+TEST_P(SparsityCase, BeerAnnotationSparsityNearTarget) {
+  auto [aspect, low, high] = GetParam();
+  SplitSizes sizes{200, 20, 200};
+  SyntheticDataset ds = MakeBeerDataset(static_cast<BeerAspect>(aspect), sizes,
+                                        /*seed=*/21);
+  float sparsity = ds.AnnotationSparsity();
+  EXPECT_GE(sparsity, low);
+  EXPECT_LE(sparsity, high);
+}
+
+// Targets scaled from Table IX (appearance 18.5 > aroma 15.6 > palate 12.4,
+// compressed by the shorter synthetic sentences).
+INSTANTIATE_TEST_SUITE_P(Aspects, SparsityCase,
+                         ::testing::Values(std::tuple{0, 0.10f, 0.22f},
+                                           std::tuple{1, 0.08f, 0.20f},
+                                           std::tuple{2, 0.07f, 0.18f}));
+
+TEST(BeerDatasetTest, AspectOrderingOfSparsity) {
+  SplitSizes sizes{100, 20, 300};
+  float appearance =
+      MakeBeerDataset(BeerAspect::kAppearance, sizes, 31).AnnotationSparsity();
+  float palate =
+      MakeBeerDataset(BeerAspect::kPalate, sizes, 31).AnnotationSparsity();
+  EXPECT_GT(appearance, palate);  // Table IX ordering
+}
+
+TEST(HotelDatasetTest, BuildsAllAspects) {
+  SplitSizes sizes{50, 10, 50};
+  for (int a = 0; a < 3; ++a) {
+    SyntheticDataset ds =
+        MakeHotelDataset(static_cast<HotelAspect>(a), sizes, 41);
+    EXPECT_EQ(ds.train.size(), 50u);
+    EXPECT_GT(ds.AnnotationSparsity(), 0.05f);
+    EXPECT_LT(ds.AnnotationSparsity(), 0.25f);
+  }
+}
+
+TEST(AspectNameTest, Names) {
+  EXPECT_EQ(BeerAspectName(BeerAspect::kPalate), "Palate");
+  EXPECT_EQ(HotelAspectName(HotelAspect::kService), "Service");
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace dar

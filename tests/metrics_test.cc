@@ -1,0 +1,133 @@
+// Tests for eval: rationale metrics, label PRF, table rendering.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+
+namespace dar {
+namespace eval {
+namespace {
+
+data::Batch AnnotatedBatch() {
+  std::vector<data::Example> examples = {
+      {{2, 3, 4, 5}, 1, {0, 1, 1, 0}},
+      {{6, 7, 8}, 0, {1, 0, 0}},
+  };
+  return data::Batch::FromExamples(examples, 0, 2, 0);
+}
+
+TEST(RationaleMetricsTest, PerfectSelection) {
+  data::Batch batch = AnnotatedBatch();
+  Tensor mask(Shape{2, 4}, {0, 1, 1, 0, 1, 0, 0, 0});
+  RationaleMetricsAccumulator acc;
+  acc.Add(mask, batch);
+  RationaleMetrics m = acc.Finalize();
+  EXPECT_NEAR(m.precision, 1.0f, 1e-6f);
+  EXPECT_NEAR(m.recall, 1.0f, 1e-6f);
+  EXPECT_NEAR(m.f1, 1.0f, 1e-6f);
+  EXPECT_NEAR(m.sparsity, 3.0f / 7.0f, 1e-5f);  // 3 selected / 7 valid
+}
+
+TEST(RationaleMetricsTest, PartialOverlap) {
+  data::Batch batch = AnnotatedBatch();
+  // Selects tokens {1} of ex0 (gold {1,2}) and {1} of ex1 (gold {0}).
+  Tensor mask(Shape{2, 4}, {0, 1, 0, 0, 0, 1, 0, 0});
+  RationaleMetricsAccumulator acc;
+  acc.Add(mask, batch);
+  RationaleMetrics m = acc.Finalize();
+  EXPECT_NEAR(m.precision, 0.5f, 1e-6f);       // 1 of 2 selected are gold
+  EXPECT_NEAR(m.recall, 1.0f / 3.0f, 1e-6f);   // 1 of 3 gold selected
+  EXPECT_NEAR(m.f1, 2 * 0.5f * (1.0f / 3) / (0.5f + 1.0f / 3), 1e-5f);
+}
+
+TEST(RationaleMetricsTest, EmptySelectionIsZeroNotNan) {
+  data::Batch batch = AnnotatedBatch();
+  Tensor mask(Shape{2, 4});
+  RationaleMetricsAccumulator acc;
+  acc.Add(mask, batch);
+  RationaleMetrics m = acc.Finalize();
+  EXPECT_EQ(m.precision, 0.0f);
+  EXPECT_EQ(m.recall, 0.0f);
+  EXPECT_EQ(m.f1, 0.0f);
+  EXPECT_EQ(m.sparsity, 0.0f);
+}
+
+TEST(RationaleMetricsTest, PaddingExcluded) {
+  data::Batch batch = AnnotatedBatch();
+  // "Select" padded positions of example 2 — they must not count.
+  Tensor mask(Shape{2, 4}, {0, 0, 0, 0, 0, 0, 0, 1});
+  RationaleMetricsAccumulator acc;
+  acc.Add(mask, batch);
+  EXPECT_EQ(acc.Finalize().sparsity, 0.0f);
+}
+
+TEST(RationaleMetricsTest, MicroAverageAcrossBatches) {
+  data::Batch batch = AnnotatedBatch();
+  Tensor mask1(Shape{2, 4}, {0, 1, 1, 0, 1, 0, 0, 0});  // all gold
+  Tensor mask2(Shape{2, 4}, {1, 0, 0, 1, 0, 1, 0, 0});  // none gold
+  RationaleMetricsAccumulator acc;
+  acc.Add(mask1, batch);
+  acc.Add(mask2, batch);
+  RationaleMetrics m = acc.Finalize();
+  EXPECT_NEAR(m.precision, 0.5f, 1e-6f);  // 3 of 6 selected are gold
+  EXPECT_NEAR(m.recall, 0.5f, 1e-6f);     // 3 of 6 gold selected
+}
+
+TEST(PositiveClassPrfTest, MixedPredictions) {
+  // preds: 1 1 0 0 ; labels: 1 0 1 0 -> tp=1 fp=1 fn=1.
+  BinaryPrf prf = PositiveClassPrf({1, 1, 0, 0}, {1, 0, 1, 0});
+  EXPECT_TRUE(prf.defined);
+  EXPECT_NEAR(prf.precision, 0.5f, 1e-6f);
+  EXPECT_NEAR(prf.recall, 0.5f, 1e-6f);
+  EXPECT_NEAR(prf.f1, 0.5f, 1e-6f);
+}
+
+TEST(PositiveClassPrfTest, CollapsedPredictorIsUndefined) {
+  // The paper's Table I "nan" case: predictor always outputs negative.
+  BinaryPrf prf = PositiveClassPrf({0, 0, 0, 0}, {1, 0, 1, 0});
+  EXPECT_FALSE(prf.defined);
+  EXPECT_EQ(prf.recall, 0.0f);
+}
+
+TEST(PositiveClassPrfTest, AlwaysPositivePredictor) {
+  // Table I Service-like case: P=100, R small.
+  BinaryPrf prf = PositiveClassPrf({1, 0, 0, 0}, {1, 1, 1, 1});
+  EXPECT_TRUE(prf.defined);
+  EXPECT_NEAR(prf.precision, 1.0f, 1e-6f);
+  EXPECT_NEAR(prf.recall, 0.25f, 1e-6f);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "F1"});
+  table.AddRow({"RNP", "72.8"});
+  table.AddRow({"DAR(ours)", "79.8"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| Method    |"), std::string::npos);
+  EXPECT_NE(out.find("| DAR(ours) | 79.8 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleSeparatesSections) {
+  TablePrinter table({"A"});
+  table.AddRow({"x"});
+  table.AddRule();
+  table.AddRow({"y"});
+  std::string out = table.Render();
+  // Header rule + top + bottom + mid-rule = 4 horizontal rules.
+  size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.798f), "79.8");
+  EXPECT_EQ(FormatPercent(1.0f), "100.0");
+  EXPECT_EQ(FormatFloat(3.14159f, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace dar

@@ -1,0 +1,157 @@
+// Tests for the GRU / BiGRU encoders.
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+namespace {
+
+ag::Variable Embed(const Tensor& t) { return ag::Variable::Constant(t); }
+
+TEST(GruTest, OutputShape) {
+  Pcg32 rng(1);
+  Gru gru(3, 5, rng);
+  Tensor x(Shape{2, 4, 3}, 0.1f);
+  ag::Variable out = gru.Forward(Embed(x));
+  EXPECT_EQ(out.value().shape(), (Shape{2, 4, 5}));
+}
+
+TEST(GruTest, ParameterCount) {
+  Pcg32 rng(2);
+  Gru gru(3, 5, rng);
+  // w_x [3,15] + w_h [5,15] + b [15].
+  EXPECT_EQ(gru.NumParameters(), 3 * 15 + 5 * 15 + 15);
+}
+
+TEST(GruTest, ZeroInputZeroStateStaysSmall) {
+  Pcg32 rng(3);
+  Gru gru(2, 3, rng);
+  Tensor x(Shape{1, 5, 2});  // zeros
+  Tensor out = gru.Forward(Embed(x)).value();
+  // With zero input and zero initial state, tanh/sigmoid keep values
+  // bounded well inside (-1, 1).
+  EXPECT_LT(MaxAll(Abs(out)), 1.0f);
+}
+
+TEST(GruTest, StatePropagatesThroughTime) {
+  Pcg32 rng(4);
+  Gru gru(1, 4, rng);
+  Tensor x(Shape{1, 3, 1});
+  x.at(0, 0, 0) = 5.0f;  // impulse at t=0, zero afterwards
+  Tensor out = gru.Forward(Embed(x)).value();
+  // The impulse response must persist: later steps differ from what an
+  // all-zero input would give (memory).
+  Tensor zero_x(Shape{1, 3, 1});
+  Tensor zero_out = gru.Forward(Embed(zero_x)).value();
+  EXPECT_FALSE(SliceTime(out, 2).AllClose(SliceTime(zero_out, 2), 1e-4f));
+}
+
+TEST(GruTest, MaskFreezesStateAtPadding) {
+  Pcg32 rng(5);
+  Gru gru(2, 3, rng);
+  Pcg32 data_rng(6);
+  Tensor x = Tensor::Randn({1, 4, 2}, data_rng);
+  Tensor valid(Shape{1, 4}, {1, 1, 0, 0});
+  Tensor out = gru.Forward(Embed(x), &valid).value();
+  // After the sequence ends, the hidden state must stay frozen.
+  EXPECT_TRUE(SliceTime(out, 2).AllClose(SliceTime(out, 1)));
+  EXPECT_TRUE(SliceTime(out, 3).AllClose(SliceTime(out, 1)));
+}
+
+TEST(GruTest, PaddingContentDoesNotAffectValidStates) {
+  Pcg32 rng(7);
+  Gru gru(2, 3, rng);
+  Pcg32 data_rng(8);
+  Tensor x1 = Tensor::Randn({1, 4, 2}, data_rng);
+  Tensor x2 = x1;
+  // Corrupt padded positions only.
+  x2.at(0, 3, 0) = 100.0f;
+  Tensor valid(Shape{1, 4}, {1, 1, 1, 0});
+  Tensor out1 = gru.Forward(Embed(x1), &valid).value();
+  Tensor out2 = gru.Forward(Embed(x2), &valid).value();
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(SliceTime(out1, t).AllClose(SliceTime(out2, t)));
+  }
+}
+
+TEST(GruTest, ReverseDirectionMirrorsForward) {
+  Pcg32 rng(9);
+  // Same weights: construct forward, copy into reverse.
+  Gru forward(2, 3, rng, /*reverse=*/false);
+  Pcg32 rng2(9);
+  Gru reverse(2, 3, rng2, /*reverse=*/true);  // identical init (same seed)
+  Pcg32 data_rng(10);
+  Tensor x = Tensor::Randn({1, 4, 2}, data_rng);
+  // Time-reversed copy of x.
+  Tensor xr(Shape{1, 4, 2});
+  for (int64_t t = 0; t < 4; ++t) SetTime(xr, t, SliceTime(x, 3 - t));
+  Tensor out_fwd = forward.Forward(Embed(xr)).value();
+  Tensor out_rev = reverse.Forward(Embed(x)).value();
+  // reverse(x) at time t == forward(reversed x) at time 3-t.
+  for (int64_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(SliceTime(out_rev, t).AllClose(SliceTime(out_fwd, 3 - t), 1e-5f));
+  }
+}
+
+TEST(BiGruTest, OutputConcatenatesDirections) {
+  Pcg32 rng(11);
+  BiGru bigru(3, 4, rng);
+  EXPECT_EQ(bigru.output_dim(), 8);
+  Tensor x(Shape{2, 5, 3}, 0.2f);
+  ag::Variable out = bigru.Forward(Embed(x));
+  EXPECT_EQ(out.value().shape(), (Shape{2, 5, 8}));
+}
+
+TEST(BiGruTest, BackwardHalfSeesFuture) {
+  Pcg32 rng(12);
+  BiGru bigru(1, 2, rng);
+  Tensor x1(Shape{1, 3, 1});
+  Tensor x2(Shape{1, 3, 1});
+  x2.at(0, 2, 0) = 3.0f;  // differ only at the last step
+  Tensor out1 = bigru.Forward(Embed(x1)).value();
+  Tensor out2 = bigru.Forward(Embed(x2)).value();
+  // At t=0 the forward half agrees but the backward half must differ.
+  bool fw_same = true, bw_differ = false;
+  for (int64_t j = 0; j < 2; ++j) {
+    if (std::abs(out1.at(0, 0, j) - out2.at(0, 0, j)) > 1e-6f) fw_same = false;
+    if (std::abs(out1.at(0, 0, 2 + j) - out2.at(0, 0, 2 + j)) > 1e-6f) {
+      bw_differ = true;
+    }
+  }
+  EXPECT_TRUE(fw_same);
+  EXPECT_TRUE(bw_differ);
+}
+
+TEST(GruTest, GradCheckThroughTime) {
+  Pcg32 rng(13);
+  Gru gru(2, 2, rng);
+  Pcg32 data_rng(14);
+  ag::GradCheckResult r = ag::CheckGradients(
+      [&gru](const std::vector<ag::Variable>& v) {
+        ag::Variable y = gru.Forward(v[0]);
+        return ag::Sum(ag::Mul(y, y));
+      },
+      {Tensor::Randn({1, 3, 2}, data_rng, 0.5f)});
+  EXPECT_TRUE(r.ok) << "max error " << r.max_abs_error << " at "
+                    << r.worst_location;
+}
+
+TEST(GruTest, GradientsReachAllWeights) {
+  Pcg32 rng(15);
+  Gru gru(2, 3, rng);
+  Pcg32 data_rng(16);
+  Tensor x = Tensor::Randn({2, 3, 2}, data_rng);
+  ag::Sum(gru.Forward(Embed(x))).Backward();
+  for (const NamedParameter& p : gru.Parameters()) {
+    EXPECT_TRUE(p.variable.has_grad()) << p.name;
+    EXPECT_GT(Norm2(p.variable.grad()), 0.0f) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,102 @@
+// Tests for nn/loss.h: cross-entropy, accuracy, KL, JS, Bernoulli KL.
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+namespace {
+
+TEST(CrossEntropyTest, MatchesManualComputation) {
+  // Single example, logits (1, 2): p = softmax, CE = -log p[label].
+  ag::Variable logits =
+      ag::Variable::Constant(Tensor(Shape{1, 2}, {1.0f, 2.0f}));
+  float z = std::exp(1.0f) + std::exp(2.0f);
+  float expected = -std::log(std::exp(2.0f) / z);
+  EXPECT_NEAR(CrossEntropy(logits, {1}).value().item(), expected, 1e-5f);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionApproachesZero) {
+  ag::Variable logits =
+      ag::Variable::Constant(Tensor(Shape{1, 2}, {20.0f, -20.0f}));
+  EXPECT_LT(CrossEntropy(logits, {0}).value().item(), 1e-4f);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  ag::Variable logits = ag::Variable::Constant(Tensor(Shape{3, 4}));
+  EXPECT_NEAR(CrossEntropy(logits, {0, 1, 2}).value().item(), std::log(4.0f),
+              1e-5f);
+}
+
+TEST(CrossEntropyTest, GradientPushesTowardLabel) {
+  ag::Variable logits = ag::Variable::Param(Tensor(Shape{1, 2}));
+  CrossEntropy(logits, {0}).Backward();
+  EXPECT_LT(logits.grad().at(0, 0), 0.0f);  // raise label logit
+  EXPECT_GT(logits.grad().at(0, 1), 0.0f);  // lower the other
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 2}, {2.0f, 1.0f,    // pred 0
+                              0.0f, 3.0f,    // pred 1
+                              5.0f, -1.0f});  // pred 0
+  EXPECT_NEAR(Accuracy(logits, {0, 1, 1}), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(KlDivergenceTest, ZeroWhenDistributionsMatch) {
+  Tensor logits(Shape{2, 2}, {1.0f, -1.0f, 0.5f, 0.5f});
+  ag::Variable q = ag::Variable::Constant(logits);
+  ag::Variable p = ag::Variable::Constant(SoftmaxRows(logits));
+  EXPECT_NEAR(KlDivergence(p, q).value().item(), 0.0f, 1e-5f);
+}
+
+TEST(KlDivergenceTest, PositiveWhenDifferent) {
+  ag::Variable p =
+      ag::Variable::Constant(Tensor(Shape{1, 2}, {0.9f, 0.1f}));
+  ag::Variable q = ag::Variable::Constant(Tensor(Shape{1, 2}, {0.0f, 0.0f}));
+  EXPECT_GT(KlDivergence(p, q).value().item(), 0.1f);
+}
+
+TEST(JsDivergenceTest, ZeroOnIdenticalLogits) {
+  Tensor logits(Shape{2, 3}, {1, 2, 3, -1, 0, 1});
+  ag::Variable a = ag::Variable::Constant(logits);
+  ag::Variable b = ag::Variable::Constant(logits);
+  EXPECT_NEAR(JsDivergence(a, b).value().item(), 0.0f, 1e-5f);
+}
+
+TEST(JsDivergenceTest, SymmetricAndBounded) {
+  ag::Variable a =
+      ag::Variable::Constant(Tensor(Shape{1, 2}, {5.0f, -5.0f}));
+  ag::Variable b =
+      ag::Variable::Constant(Tensor(Shape{1, 2}, {-5.0f, 5.0f}));
+  float ab = JsDivergence(a, b).value().item();
+  float ba = JsDivergence(b, a).value().item();
+  EXPECT_NEAR(ab, ba, 1e-5f);
+  EXPECT_GT(ab, 0.0f);
+  EXPECT_LE(ab, std::log(2.0f) + 1e-4f);  // JS upper bound (nats)
+}
+
+TEST(BernoulliKlTest, ZeroAtPrior) {
+  ag::Variable p = ag::Variable::Constant(Tensor(Shape{2, 2}, 0.3f));
+  EXPECT_NEAR(BernoulliKl(p, 0.3f).value().item(), 0.0f, 1e-5f);
+}
+
+TEST(BernoulliKlTest, GrowsAwayFromPrior) {
+  ag::Variable near = ag::Variable::Constant(Tensor(Shape{1, 1}, 0.35f));
+  ag::Variable far = ag::Variable::Constant(Tensor(Shape{1, 1}, 0.9f));
+  EXPECT_LT(BernoulliKl(near, 0.3f).value().item(),
+            BernoulliKl(far, 0.3f).value().item());
+}
+
+TEST(BernoulliKlTest, GradientPullsTowardPrior) {
+  ag::Variable p = ag::Variable::Param(Tensor(Shape{1, 1}, 0.8f));
+  BernoulliKl(p, 0.2f).Backward();
+  EXPECT_GT(p.grad().at(0, 0), 0.0f);  // decrease p toward 0.2
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,244 @@
+// Tests for nn: Module registry, Linear, Embedding, Dropout, LayerNorm,
+// pooling, and Gumbel mask sampling.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/gumbel.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+namespace {
+
+TEST(ModuleTest, ParameterRegistryAndNaming) {
+  Pcg32 rng(1);
+  Linear linear(3, 2, rng);
+  std::vector<NamedParameter> params = linear.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "w");
+  EXPECT_EQ(params[1].name, "b");
+  EXPECT_EQ(linear.NumParameters(), 3 * 2 + 2);
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Pcg32 rng(2);
+  Linear a(3, 2, rng), b(3, 2, rng);
+  EXPECT_FALSE(a.weight().value().AllClose(b.weight().value()));
+  b.CopyParametersFrom(a);
+  EXPECT_TRUE(a.weight().value().AllClose(b.weight().value()));
+}
+
+TEST(ModuleTest, SetRequiresGradFreezes) {
+  Pcg32 rng(3);
+  Linear linear(2, 2, rng);
+  linear.SetRequiresGrad(false);
+  for (const NamedParameter& p : linear.Parameters()) {
+    EXPECT_FALSE(p.variable.requires_grad());
+  }
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Pcg32 rng(4);
+  Dropout dropout(0.5f, rng);
+  EXPECT_TRUE(dropout.training());
+  dropout.SetTraining(false);
+  EXPECT_FALSE(dropout.training());
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Pcg32 rng(5);
+  Linear linear(2, 2, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor(Shape{1, 2}, {1.0f, 2.0f}));
+  Tensor out = linear.Forward(x).value();
+  const Tensor& w = linear.weight().value();
+  EXPECT_NEAR(out.at(0, 0), 1.0f * w.at(0, 0) + 2.0f * w.at(1, 0), 1e-5f);
+}
+
+TEST(LinearTest, GradientsFlowToWeights) {
+  Pcg32 rng(6);
+  Linear linear(3, 2, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Ones({4, 3}).Reshape({4, 3}));
+  ag::Variable loss = ag::Sum(linear.Forward(x));
+  loss.Backward();
+  EXPECT_TRUE(linear.weight().has_grad());
+  EXPECT_TRUE(linear.bias().has_grad());
+  // d(sum(xW+b))/db = batch size per output.
+  EXPECT_NEAR(linear.bias().grad().at(0), 4.0f, 1e-5f);
+}
+
+TEST(EmbeddingTest, LookupReturnsRows) {
+  Tensor table(Shape{3, 2}, {0, 0, 10, 11, 20, 21});
+  Embedding embedding(table, /*trainable=*/false);
+  Tensor out = embedding.Forward({{2, 1}}).value();
+  EXPECT_EQ(out.at(0, 0, 0), 20.0f);
+  EXPECT_EQ(out.at(0, 1, 1), 11.0f);
+}
+
+TEST(EmbeddingTest, FrozenTableGetsNoGrad) {
+  Tensor table(Shape{3, 2}, 1.0f);
+  Embedding embedding(table, /*trainable=*/false);
+  ag::Variable out = embedding.Forward({{0, 1}});
+  EXPECT_FALSE(out.requires_grad());
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Pcg32 rng(7);
+  Dropout dropout(0.5f, rng);
+  dropout.SetTraining(false);
+  Tensor x = Tensor::Ones({100});
+  Tensor out = dropout.Forward(ag::Variable::Constant(x)).value();
+  EXPECT_TRUE(out.AllClose(x));
+}
+
+TEST(DropoutTest, TrainModeZeroesAndRescales) {
+  Pcg32 rng(8);
+  Dropout dropout(0.5f, rng);
+  Tensor x = Tensor::Ones({4000});
+  Tensor out = dropout.Forward(ag::Variable::Constant(x)).value();
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(out.at(i), 2.0f, 1e-5f);  // 1/(1-p)
+    }
+    sum += out.at(i);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.numel(), 0.5, 0.05);
+  EXPECT_NEAR(sum / out.numel(), 1.0, 0.1);  // expectation preserved
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm norm(4);
+  Tensor x(Shape{2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor out = norm.Forward(ag::Variable::Constant(x)).value();
+  for (int64_t i = 0; i < 2; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t j = 0; j < 4; ++j) mean += out.at(i, j);
+    mean /= 4.0f;
+    for (int64_t j = 0; j < 4; ++j) {
+      var += (out.at(i, j) - mean) * (out.at(i, j) - mean);
+    }
+    var /= 4.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  LayerNorm norm(3);
+  Pcg32 rng(9);
+  ag::GradCheckResult r = ag::CheckGradients(
+      [&norm](const std::vector<ag::Variable>& v) {
+        ag::Variable y = norm.Forward(v[0]);
+        return ag::Sum(ag::Mul(y, y));
+      },
+      {Tensor::Randn({2, 3}, rng)});
+  EXPECT_TRUE(r.ok) << "max error " << r.max_abs_error << " at "
+                    << r.worst_location;
+}
+
+TEST(PoolingTest, MaskedMaxPoolIgnoresPadding) {
+  Tensor h(Shape{1, 3, 2}, {1, 1, 5, 5, 99, 99});
+  Tensor valid(Shape{1, 3}, {1, 1, 0});  // last step padded
+  ag::Variable out = MaskedMaxPool(ag::Variable::Constant(h), valid);
+  EXPECT_EQ(out.value().at(0, 0), 5.0f);
+}
+
+TEST(PoolingTest, MaskedMaxPoolGradientRoutesToArgmax) {
+  Tensor h(Shape{1, 2, 1}, {1.0f, 3.0f});
+  Tensor valid(Shape{1, 2}, 1.0f);
+  ag::Variable hv = ag::Variable::Param(h);
+  ag::Sum(MaskedMaxPool(hv, valid)).Backward();
+  EXPECT_EQ(hv.grad().at(0, 0, 0), 0.0f);
+  EXPECT_EQ(hv.grad().at(0, 1, 0), 1.0f);
+}
+
+TEST(PoolingTest, MaskedMeanPoolAveragesValidOnly) {
+  Tensor h(Shape{1, 3, 1}, {2.0f, 4.0f, 100.0f});
+  Tensor valid(Shape{1, 3}, {1, 1, 0});
+  ag::Variable out = MaskedMeanPool(ag::Variable::Constant(h), valid);
+  EXPECT_NEAR(out.value().at(0, 0), 3.0f, 1e-5f);
+}
+
+TEST(PoolingTest, NoValidPositionsAborts) {
+  Tensor h(Shape{1, 2, 1});
+  Tensor valid(Shape{1, 2});  // all zero
+  EXPECT_DEATH(MaskedMaxPool(ag::Variable::Constant(h), valid), "valid");
+}
+
+TEST(GumbelTest, EvalModeIsDeterministicThreshold) {
+  Pcg32 rng(10);
+  Tensor logits(Shape{1, 4}, {-2.0f, -0.1f, 0.1f, 3.0f});
+  Tensor valid(Shape{1, 4}, 1.0f);
+  GumbelMask mask = SampleBinaryMask(ag::Variable::Constant(logits), valid,
+                                     1.0f, /*training=*/false, rng);
+  EXPECT_EQ(mask.hard.value().at(0, 0), 0.0f);
+  EXPECT_EQ(mask.hard.value().at(0, 1), 0.0f);
+  EXPECT_EQ(mask.hard.value().at(0, 2), 1.0f);
+  EXPECT_EQ(mask.hard.value().at(0, 3), 1.0f);
+}
+
+TEST(GumbelTest, PaddedPositionsNeverSelected) {
+  Pcg32 rng(11);
+  Tensor logits(Shape{2, 3}, 10.0f);  // strongly "select everything"
+  Tensor valid(Shape{2, 3}, {1, 1, 0, 1, 0, 0});
+  for (int trial = 0; trial < 20; ++trial) {
+    GumbelMask mask = SampleBinaryMask(ag::Variable::Constant(logits), valid,
+                                       1.0f, /*training=*/true, rng);
+    EXPECT_EQ(mask.hard.value().at(0, 2), 0.0f);
+    EXPECT_EQ(mask.hard.value().at(1, 1), 0.0f);
+    EXPECT_EQ(mask.hard.value().at(1, 2), 0.0f);
+  }
+}
+
+TEST(GumbelTest, TrainingSamplesAreStochastic) {
+  Pcg32 rng(12);
+  Tensor logits(Shape{1, 1}, 0.0f);  // 50/50
+  Tensor valid(Shape{1, 1}, 1.0f);
+  int selected = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    GumbelMask mask = SampleBinaryMask(ag::Variable::Constant(logits), valid,
+                                       1.0f, /*training=*/true, rng);
+    if (mask.hard.value().at(0, 0) > 0.5f) ++selected;
+  }
+  EXPECT_NEAR(static_cast<double>(selected) / kTrials, 0.5, 0.1);
+}
+
+TEST(GumbelTest, HigherLogitSelectsMoreOften) {
+  Pcg32 rng(13);
+  Tensor logits(Shape{1, 2}, {2.0f, -2.0f});
+  Tensor valid(Shape{1, 2}, 1.0f);
+  int first = 0, second = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    GumbelMask mask = SampleBinaryMask(ag::Variable::Constant(logits), valid,
+                                       1.0f, /*training=*/true, rng);
+    if (mask.hard.value().at(0, 0) > 0.5f) ++first;
+    if (mask.hard.value().at(0, 1) > 0.5f) ++second;
+  }
+  EXPECT_GT(first, second + 100);
+}
+
+TEST(GumbelTest, GradientFlowsThroughHardMask) {
+  Pcg32 rng(14);
+  Tensor logits(Shape{1, 2}, {1.0f, -1.0f});
+  Tensor valid(Shape{1, 2}, 1.0f);
+  ag::Variable lv = ag::Variable::Param(logits);
+  GumbelMask mask = SampleBinaryMask(lv, valid, 1.0f, /*training=*/false, rng);
+  ag::Sum(mask.hard).Backward();
+  EXPECT_TRUE(lv.has_grad());
+  EXPECT_GT(lv.grad().at(0, 0), 0.0f);  // sigmoid' > 0
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,151 @@
+// Tests for multi-head attention and the Transformer encoder.
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace nn {
+namespace {
+
+TransformerConfig SmallConfig() {
+  TransformerConfig config;
+  config.dim = 8;
+  config.num_heads = 2;
+  config.ffn_dim = 16;
+  config.num_layers = 2;
+  config.max_len = 12;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(AttentionTest, OutputShape) {
+  Pcg32 rng(1);
+  MultiHeadAttention mha(8, 2, rng);
+  Pcg32 data_rng(2);
+  Tensor x = Tensor::Randn({2, 5, 8}, data_rng);
+  Tensor valid(Shape{2, 5}, 1.0f);
+  ag::Variable out = mha.Forward(ag::Variable::Constant(x), valid);
+  EXPECT_EQ(out.value().shape(), (Shape{2, 5, 8}));
+}
+
+TEST(AttentionTest, HeadCountMustDivideDim) {
+  Pcg32 rng(3);
+  EXPECT_DEATH(MultiHeadAttention(8, 3, rng), "divisible");
+}
+
+TEST(AttentionTest, PaddedKeysAreIgnored) {
+  Pcg32 rng(4);
+  MultiHeadAttention mha(4, 1, rng);
+  Pcg32 data_rng(5);
+  Tensor x1 = Tensor::Randn({1, 4, 4}, data_rng);
+  Tensor x2 = x1;
+  // Corrupt only the padded position's content.
+  for (int64_t j = 0; j < 4; ++j) x2.at(0, 3, j) += 50.0f;
+  Tensor valid(Shape{1, 4}, {1, 1, 1, 0});
+  Tensor out1 = mha.Forward(ag::Variable::Constant(x1), valid).value();
+  Tensor out2 = mha.Forward(ag::Variable::Constant(x2), valid).value();
+  // Valid queries must be unaffected by padded keys.
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(SliceTime(out1, t).AllClose(SliceTime(out2, t), 1e-4f));
+  }
+}
+
+TEST(AttentionTest, MixesInformationAcrossPositions) {
+  Pcg32 rng(6);
+  MultiHeadAttention mha(4, 2, rng);
+  Tensor x1(Shape{1, 3, 4}, 0.1f);
+  Tensor x2 = x1;
+  x2.at(0, 2, 0) = 5.0f;  // perturb the last position
+  Tensor valid(Shape{1, 3}, 1.0f);
+  Tensor out1 = mha.Forward(ag::Variable::Constant(x1), valid).value();
+  Tensor out2 = mha.Forward(ag::Variable::Constant(x2), valid).value();
+  // Position 0's output must change: attention is non-local.
+  EXPECT_FALSE(SliceTime(out1, 0).AllClose(SliceTime(out2, 0), 1e-6f));
+}
+
+TEST(TransformerTest, OutputShapeAndFiniteness) {
+  Pcg32 rng(7);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Pcg32 data_rng(8);
+  Tensor x = Tensor::Randn({2, 6, 8}, data_rng);
+  Tensor valid(Shape{2, 6}, 1.0f);
+  Tensor out = encoder.Forward(ag::Variable::Constant(x), valid).value();
+  EXPECT_EQ(out.shape(), (Shape{2, 6, 8}));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.flat(i)));
+  }
+}
+
+TEST(TransformerTest, RejectsSequencesBeyondMaxLen) {
+  Pcg32 rng(9);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Tensor x(Shape{1, 13, 8});  // max_len is 12
+  Tensor valid(Shape{1, 13}, 1.0f);
+  EXPECT_DEATH(encoder.Forward(ag::Variable::Constant(x), valid), "DAR_CHECK");
+}
+
+TEST(TransformerTest, PositionalEmbeddingsBreakPermutationSymmetry) {
+  Pcg32 rng(10);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  encoder.SetTraining(false);
+  Tensor x(Shape{1, 2, 8});
+  for (int64_t j = 0; j < 8; ++j) {
+    x.at(0, 0, j) = 1.0f;
+    x.at(0, 1, j) = -1.0f;
+  }
+  // Swap the two tokens.
+  Tensor x_swapped(Shape{1, 2, 8});
+  SetTime(x_swapped, 0, SliceTime(x, 1));
+  SetTime(x_swapped, 1, SliceTime(x, 0));
+  Tensor valid(Shape{1, 2}, 1.0f);
+  Tensor out = encoder.Forward(ag::Variable::Constant(x), valid).value();
+  Tensor out_swapped =
+      encoder.Forward(ag::Variable::Constant(x_swapped), valid).value();
+  // Without positions, out_swapped would be out with rows swapped; the
+  // positional table must break that symmetry.
+  EXPECT_FALSE(SliceTime(out, 0).AllClose(SliceTime(out_swapped, 1), 1e-5f));
+}
+
+TEST(TransformerTest, GradientsReachAllParameters) {
+  Pcg32 rng(11);
+  TransformerConfig config = SmallConfig();
+  config.num_layers = 1;
+  TransformerEncoder encoder(config, rng);
+  Pcg32 data_rng(12);
+  Tensor x = Tensor::Randn({1, 3, 8}, data_rng);
+  Tensor valid(Shape{1, 3}, 1.0f);
+  ag::Variable xv = ag::Variable::Param(x);
+  ag::Variable out = encoder.Forward(xv, valid);
+  ag::Sum(ag::Mul(out, out)).Backward();
+  EXPECT_TRUE(xv.has_grad());
+  int64_t with_grad = 0, total = 0;
+  for (const NamedParameter& p : encoder.Parameters()) {
+    ++total;
+    if (p.variable.has_grad() && Norm2(p.variable.grad()) > 0.0f) ++with_grad;
+  }
+  // All parameters participate (dropout disabled).
+  EXPECT_EQ(with_grad, total);
+}
+
+TEST(TransformerTest, DropoutOnlyInTraining) {
+  Pcg32 rng(13);
+  TransformerConfig config = SmallConfig();
+  config.dropout = 0.5f;
+  TransformerEncoder encoder(config, rng);
+  encoder.SetTraining(false);
+  Pcg32 data_rng(14);
+  Tensor x = Tensor::Randn({1, 4, 8}, data_rng);
+  Tensor valid(Shape{1, 4}, 1.0f);
+  Tensor out1 = encoder.Forward(ag::Variable::Constant(x), valid).value();
+  Tensor out2 = encoder.Forward(ag::Variable::Constant(x), valid).value();
+  EXPECT_TRUE(out1.AllClose(out2));  // eval mode is deterministic
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dar

@@ -1,0 +1,192 @@
+// Tests for optim: SGD, Adam, gradient clipping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "optim/schedule.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace optim {
+namespace {
+
+/// Quadratic loss 0.5 * ||w - target||^2 for optimizer convergence checks.
+ag::Variable Quadratic(const ag::Variable& w, const Tensor& target) {
+  ag::Variable diff = ag::Sub(w, ag::Variable::Constant(target));
+  return ag::MulScalar(ag::Sum(ag::Mul(diff, diff)), 0.5f);
+}
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Sgd sgd({w}, {.lr = 0.1f});
+  sgd.ZeroGrad();
+  Quadratic(w, Tensor::FromVector({0.0f})).Backward();  // grad = w = 1
+  sgd.Step();
+  EXPECT_NEAR(w.value().at(0), 0.9f, 1e-6f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({0.0f}));
+  Sgd sgd({w}, {.lr = 1.0f, .momentum = 0.9f});
+  // Constant gradient of 1 for two steps: velocity 1, then 1.9.
+  for (int step = 0; step < 2; ++step) {
+    sgd.ZeroGrad();
+    ag::Sum(w).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value().at(0), -(1.0f + 1.9f), 1e-5f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({5.0f, -3.0f}));
+  Tensor target = Tensor::FromVector({1.0f, 2.0f});
+  Sgd sgd({w}, {.lr = 0.3f});
+  for (int step = 0; step < 60; ++step) {
+    sgd.ZeroGrad();
+    Quadratic(w, target).Backward();
+    sgd.Step();
+  }
+  EXPECT_TRUE(w.value().AllClose(target, 1e-3f));
+}
+
+TEST(AdamTest, FirstStepSizeIsLr) {
+  // With bias correction, Adam's very first update is ~lr * sign(grad).
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Adam adam({w}, {.lr = 0.1f});
+  adam.ZeroGrad();
+  ag::Sum(w).Backward();  // grad = 1
+  adam.Step();
+  EXPECT_NEAR(w.value().at(0), 0.9f, 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({4.0f, -4.0f}));
+  Tensor target = Tensor::FromVector({-1.0f, 0.5f});
+  Adam adam({w}, {.lr = 0.2f});
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    Quadratic(w, target).Backward();
+    adam.Step();
+  }
+  EXPECT_TRUE(w.value().AllClose(target, 1e-2f));
+}
+
+TEST(AdamTest, SkipsFrozenParameters) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  ag::Variable frozen = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  frozen.set_requires_grad(false);
+  Adam adam({w, frozen}, {.lr = 0.1f});
+  adam.ZeroGrad();
+  ag::Sum(ag::Add(w, frozen)).Backward();
+  adam.Step();
+  EXPECT_NE(w.value().at(0), 1.0f);
+  EXPECT_EQ(frozen.value().at(0), 1.0f);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradThisStep) {
+  ag::Variable used = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  ag::Variable unused = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Adam adam({used, unused}, {.lr = 0.1f});
+  ag::Sum(used).Backward();
+  adam.Step();
+  EXPECT_NE(used.value().at(0), 1.0f);
+  EXPECT_EQ(unused.value().at(0), 1.0f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({10.0f}));
+  Adam adam({w}, {.lr = 0.1f, .weight_decay = 1.0f});
+  for (int step = 0; step < 50; ++step) {
+    adam.ZeroGrad();
+    // Loss gradient 0 via zero-contribution graph: decay alone drives w.
+    ag::Sum(ag::MulScalar(w, 0.0f)).Backward();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.value().at(0)), 7.0f);
+}
+
+TEST(ClipTest, NormUnchangedBelowThreshold) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  w.ZeroGrad();
+  ag::Sum(w).Backward();  // grad norm 1
+  float norm = ClipGradNorm({w}, 10.0f);
+  EXPECT_NEAR(norm, 1.0f, 1e-6f);
+  EXPECT_NEAR(w.grad().at(0), 1.0f, 1e-6f);
+}
+
+TEST(ClipTest, ScalesDownAboveThreshold) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({3.0f, 4.0f}));
+  w.ZeroGrad();
+  ag::Variable loss = ag::Sum(ag::Mul(w, w));  // grad = 2w = (6, 8), norm 10
+  loss.Backward();
+  float norm = ClipGradNorm({w}, 5.0f);
+  EXPECT_NEAR(norm, 10.0f, 1e-4f);
+  EXPECT_NEAR(Norm2(w.grad()), 5.0f, 1e-3f);
+  // Direction preserved.
+  EXPECT_NEAR(w.grad().at(0) / w.grad().at(1), 6.0f / 8.0f, 1e-4f);
+}
+
+TEST(ClipTest, GlobalNormAcrossParameters) {
+  ag::Variable a = ag::Variable::Param(Tensor::FromVector({3.0f}));
+  ag::Variable b = ag::Variable::Param(Tensor::FromVector({4.0f}));
+  a.ZeroGrad();
+  b.ZeroGrad();
+  ag::Sum(ag::Mul(a, a)).Backward();  // grad a = 6
+  ag::Sum(ag::Mul(b, b)).Backward();  // grad b = 8
+  float norm = ClipGradNorm({a, b}, 1.0f);
+  EXPECT_NEAR(norm, 10.0f, 1e-4f);
+  float combined = std::sqrt(a.grad().at(0) * a.grad().at(0) +
+                             b.grad().at(0) * b.grad().at(0));
+  EXPECT_NEAR(combined, 1.0f, 1e-3f);
+}
+
+TEST(ScheduleTest, ConstantIsAlwaysOne) {
+  ConstantSchedule schedule;
+  EXPECT_EQ(schedule.Multiplier(0), 1.0f);
+  EXPECT_EQ(schedule.Multiplier(1000000), 1.0f);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  WarmupSchedule schedule{.warmup_steps = 10};
+  EXPECT_NEAR(schedule.Multiplier(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(schedule.Multiplier(4), 0.5f, 1e-6f);
+  EXPECT_EQ(schedule.Multiplier(10), 1.0f);
+  EXPECT_EQ(schedule.Multiplier(99), 1.0f);
+}
+
+TEST(ScheduleTest, StepDecayHalves) {
+  StepDecaySchedule schedule{.period = 5, .gamma = 0.5f};
+  EXPECT_EQ(schedule.Multiplier(0), 1.0f);
+  EXPECT_EQ(schedule.Multiplier(4), 1.0f);
+  EXPECT_NEAR(schedule.Multiplier(5), 0.5f, 1e-6f);
+  EXPECT_NEAR(schedule.Multiplier(12), 0.25f, 1e-6f);
+}
+
+TEST(ScheduleTest, CosineDecaysMonotonicallyToFloor) {
+  CosineSchedule schedule{.total_steps = 100, .floor = 0.1f};
+  float prev = schedule.Multiplier(0);
+  EXPECT_NEAR(prev, 1.0f, 1e-5f);
+  for (int64_t step = 1; step <= 100; ++step) {
+    float m = schedule.Multiplier(step);
+    EXPECT_LE(m, prev + 1e-6f);
+    prev = m;
+  }
+  EXPECT_NEAR(schedule.Multiplier(100), 0.1f, 1e-5f);
+  EXPECT_NEAR(schedule.Multiplier(500), 0.1f, 1e-5f);
+}
+
+TEST(ScheduleTest, ApplySetsOptimizerLr) {
+  ag::Variable w = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Adam adam({w}, {.lr = 1.0f});
+  WarmupSchedule schedule{.warmup_steps = 4};
+  ApplySchedule(adam, schedule, /*base_lr=*/0.8f, /*step=*/1);
+  EXPECT_NEAR(adam.lr(), 0.8f * 0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace dar

@@ -1,0 +1,122 @@
+// Tests for tensor/random.h (Pcg32).
+#include "tensor/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dar {
+namespace {
+
+TEST(Pcg32Test, DeterministicFromSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32Test, FloatInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Pcg32Test, UniformRange) {
+  Pcg32 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    float f = rng.Uniform(-2.0f, 3.0f);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 3.0f);
+  }
+}
+
+TEST(Pcg32Test, NormalMoments) {
+  Pcg32 rng(9);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    float x = rng.Normal();
+    sum += x;
+    sumsq += static_cast<double>(x) * x;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Pcg32Test, NormalWithParams) {
+  Pcg32 rng(10);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Normal(5.0f, 0.5f);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Pcg32Test, BelowIsInRangeAndCoversAll) {
+  Pcg32 rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = rng.Below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32Test, BelowOneAlwaysZero) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Pcg32Test, BernoulliFrequency) {
+  Pcg32 rng(13);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3f)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Pcg32Test, GumbelMoments) {
+  // Gumbel(0,1) mean is the Euler–Mascheroni constant (~0.5772).
+  Pcg32 rng(14);
+  double sum = 0.0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) sum += rng.Gumbel();
+  EXPECT_NEAR(sum / kN, 0.5772, 0.05);
+}
+
+TEST(Pcg32Test, SplitProducesIndependentStream) {
+  Pcg32 rng(15);
+  Pcg32 child = rng.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (rng.NextU32() == child.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace dar
