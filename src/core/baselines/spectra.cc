@@ -32,11 +32,8 @@ ag::Variable SpectraModel::TrainLoss(const data::Batch& batch) {
   return ag::Add(ce, omega);
 }
 
-Tensor SpectraModel::EvalMask(const data::Batch& batch) {
-  bool was_training = generator_.training();
-  generator_.SetTraining(false);
+Tensor SpectraModel::EvalMaskConst(const data::Batch& batch) const {
   Tensor scores = generator_.SelectionLogits(batch).value();
-  generator_.SetTraining(was_training);
   return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
 }
 

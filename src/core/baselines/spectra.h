@@ -20,7 +20,7 @@ class SpectraModel : public RationalizerBase {
   SpectraModel(Tensor embeddings, TrainConfig config);
 
   ag::Variable TrainLoss(const data::Batch& batch) override;
-  Tensor EvalMask(const data::Batch& batch) override;
+  Tensor EvalMaskConst(const data::Batch& batch) const override;
 };
 
 }  // namespace core

@@ -52,11 +52,8 @@ ag::Variable VibModel::TrainLoss(const data::Batch& batch) {
   return ag::Add(ce, ag::MulScalar(prior_kl, config_.aux_weight));
 }
 
-Tensor VibModel::EvalMask(const data::Batch& batch) {
-  bool was_training = generator_.training();
-  generator_.SetTraining(false);
+Tensor VibModel::EvalMaskConst(const data::Batch& batch) const {
   Tensor scores = generator_.SelectionLogits(batch).value();
-  generator_.SetTraining(was_training);
   return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
 }
 

@@ -26,7 +26,7 @@ class VibModel : public RationalizerBase {
   VibModel(Tensor embeddings, TrainConfig config);
 
   ag::Variable TrainLoss(const data::Batch& batch) override;
-  Tensor EvalMask(const data::Batch& batch) override;
+  Tensor EvalMaskConst(const data::Batch& batch) const override;
 };
 
 }  // namespace core

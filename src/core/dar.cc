@@ -68,5 +68,11 @@ int64_t DarModel::TotalParameters() const {
   return RationalizerBase::TotalParameters() + CountTrainable(discriminator_);
 }
 
+std::vector<nn::NamedModule> DarModel::CheckpointModules() {
+  std::vector<nn::NamedModule> modules = RationalizerBase::CheckpointModules();
+  modules.push_back({"discriminator", &discriminator_});
+  return modules;
+}
+
 }  // namespace core
 }  // namespace dar

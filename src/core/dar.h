@@ -44,6 +44,7 @@ class DarModel : public RationalizerBase {
   void SetTraining(bool training) override;
   int64_t NumModules() const override { return 3; }  // 1 gen + 2 pred
   int64_t TotalParameters() const override;
+  std::vector<nn::NamedModule> CheckpointModules() override;
 
   Predictor& discriminator() { return discriminator_; }
 

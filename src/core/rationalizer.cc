@@ -39,10 +39,14 @@ void RationalizerBase::SetTraining(bool training) {
 
 Tensor RationalizerBase::EvalMask(const data::Batch& batch) {
   bool was_training = generator_.training();
-  generator_.SetTraining(false);
-  Tensor mask = generator_.DeterministicMask(batch);
-  generator_.SetTraining(was_training);
+  SetTraining(false);
+  Tensor mask = EvalMaskConst(batch);
+  SetTraining(was_training);
   return mask;
+}
+
+Tensor RationalizerBase::EvalMaskConst(const data::Batch& batch) const {
+  return generator_.DeterministicMask(batch);
 }
 
 int64_t RationalizerBase::TotalParameters() const {
@@ -53,9 +57,18 @@ Tensor RationalizerBase::PredictLogits(const data::Batch& batch,
                                        const Tensor& mask) {
   bool was_training = predictor_.training();
   predictor_.SetTraining(false);
-  Tensor logits = predictor_.ForwardWithConstMask(batch, mask).value();
+  Tensor logits = PredictLogitsConst(batch, mask);
   predictor_.SetTraining(was_training);
   return logits;
+}
+
+Tensor RationalizerBase::PredictLogitsConst(const data::Batch& batch,
+                                            const Tensor& mask) const {
+  return predictor_.ForwardWithConstMask(batch, mask).value();
+}
+
+std::vector<nn::NamedModule> RationalizerBase::CheckpointModules() {
+  return {{"generator", &generator_}, {"predictor", &predictor_}};
 }
 
 ag::Variable RationalizerBase::RnpCoreLoss(const data::Batch& batch,
@@ -68,6 +81,15 @@ ag::Variable RationalizerBase::RnpCoreLoss(const data::Batch& batch,
   if (mask_out != nullptr) *mask_out = mask;
   if (logits_out != nullptr) *logits_out = logits;
   return ag::Add(ce, omega);
+}
+
+bool SaveRationalizer(RationalizerBase& model, const std::string& path) {
+  return nn::SaveCheckpoint(model.CheckpointModules(), path);
+}
+
+nn::CheckpointResult LoadRationalizer(RationalizerBase& model,
+                                      const std::string& path) {
+  return nn::LoadCheckpoint(model.CheckpointModules(), path);
 }
 
 int64_t RationalizerBase::CountTrainable(const nn::Module& module) {

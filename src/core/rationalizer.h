@@ -12,6 +12,7 @@
 #include "core/train_config.h"
 #include "data/batch.h"
 #include "datasets/synthetic_review.h"
+#include "nn/checkpoint.h"
 
 namespace dar {
 namespace core {
@@ -45,9 +46,17 @@ class RationalizerBase {
   /// Train/eval mode for all modules. Default: generator + predictor.
   virtual void SetTraining(bool training);
 
-  /// Deterministic rationale mask for evaluation, [B, T]. VIB and SPECTRA
+  /// Deterministic rationale mask for evaluation, [B, T]. Toggles the model
+  /// into eval mode around the computation and restores the previous mode;
+  /// training-time evaluation goes through here.
+  Tensor EvalMask(const data::Batch& batch);
+
+  /// The mask computation behind EvalMask, with no mode toggling: the model
+  /// must already be in eval mode (SetTraining(false)). Const and
+  /// thread-compatible — the serving layer (src/serve/) calls this from
+  /// many worker threads on distinct batches concurrently. VIB and SPECTRA
   /// override this with their budgeted top-k selections.
-  virtual Tensor EvalMask(const data::Batch& batch);
+  virtual Tensor EvalMaskConst(const data::Batch& batch) const;
 
   /// Number of player modules (Table IV row "modules"): 1 generator +
   /// however many predictors the method uses.
@@ -57,8 +66,19 @@ class RationalizerBase {
   /// embedding tables (Table IV row "parameters").
   virtual int64_t TotalParameters() const;
 
-  /// Predictor logits for a fixed mask (evaluation mode).
+  /// Predictor logits for a fixed mask (evaluation mode). Toggles the
+  /// predictor into eval mode and back.
   Tensor PredictLogits(const data::Batch& batch, const Tensor& mask);
+
+  /// Non-mutating PredictLogits: same eval-mode contract and thread
+  /// compatibility as EvalMaskConst.
+  Tensor PredictLogitsConst(const data::Batch& batch, const Tensor& mask) const;
+
+  /// Modules included in a saved model, in a stable order. Subclasses with
+  /// auxiliary players that ship with the deployed model (DAR's frozen
+  /// discriminator) extend this. Used by Save/LoadRationalizer and the
+  /// serving layer's checkpoint restore.
+  virtual std::vector<nn::NamedModule> CheckpointModules();
 
   Generator& generator() { return generator_; }
   Predictor& predictor() { return predictor_; }
@@ -85,6 +105,15 @@ class RationalizerBase {
   Generator generator_;
   Predictor predictor_;
 };
+
+/// Saves every module of a trained model (CheckpointModules) as one
+/// multi-module checkpoint file. Returns false on I/O failure.
+bool SaveRationalizer(RationalizerBase& model, const std::string& path);
+
+/// Restores a model saved with SaveRationalizer. The model must have been
+/// constructed with the same architecture (method, config, vocabulary).
+nn::CheckpointResult LoadRationalizer(RationalizerBase& model,
+                                      const std::string& path);
 
 }  // namespace core
 }  // namespace dar

@@ -173,16 +173,16 @@ ag::Variable SentenceRnpModel::TrainLoss(const data::Batch& batch) {
   return SentenceCoreLoss(batch, nullptr, nullptr);
 }
 
-Tensor SentenceRnpModel::EvalMask(const data::Batch& batch) {
-  bool was_training = generator_.training();
-  generator_.SetTraining(false);
+Tensor SentenceRnpModel::EvalMaskConst(const data::Batch& batch) const {
   std::vector<std::vector<SentenceSpan>> sentences =
       SegmentSentences(batch, period_id_);
   ag::Variable token_logits = generator_.SelectionLogits(batch);
+  // The eval path (training=false) never draws from the rng, so a throwaway
+  // generator keeps this const and thread-compatible.
+  Pcg32 unused_rng(0);
   nn::GumbelMask mask =
       SampleOneSentenceMask(token_logits, sentences, batch.valid, config_.tau,
-                            /*training=*/false, rng_);
-  generator_.SetTraining(was_training);
+                            /*training=*/false, unused_rng);
   return mask.hard.value();
 }
 

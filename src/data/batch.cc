@@ -45,5 +45,32 @@ Batch Batch::FromExamples(const std::vector<Example>& examples, size_t first,
   return batch;
 }
 
+Batch Batch::FromTokenSequences(
+    const std::vector<std::vector<int64_t>>& sequences, int64_t pad_id) {
+  DAR_CHECK_GT(sequences.size(), 0u);
+  int64_t max_len = 0;
+  for (const std::vector<int64_t>& seq : sequences) {
+    DAR_CHECK_GT(seq.size(), 0u);
+    max_len = std::max(max_len, static_cast<int64_t>(seq.size()));
+  }
+
+  Batch batch;
+  int64_t count = static_cast<int64_t>(sequences.size());
+  batch.valid = Tensor(Shape{count, max_len});
+  batch.tokens.reserve(sequences.size());
+  batch.labels.assign(sequences.size(), 0);
+  batch.rationales.assign(sequences.size(), {});
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    const std::vector<int64_t>& seq = sequences[i];
+    std::vector<int64_t> padded(static_cast<size_t>(max_len), pad_id);
+    std::copy(seq.begin(), seq.end(), padded.begin());
+    for (size_t t = 0; t < seq.size(); ++t) {
+      batch.valid.at(static_cast<int64_t>(i), static_cast<int64_t>(t)) = 1.0f;
+    }
+    batch.tokens.push_back(std::move(padded));
+  }
+  return batch;
+}
+
 }  // namespace data
 }  // namespace dar

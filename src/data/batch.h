@@ -43,6 +43,13 @@ struct Batch {
   /// sequence to the longest one with `pad_id`.
   static Batch FromExamples(const std::vector<Example>& examples, size_t first,
                             size_t count, int64_t pad_id);
+
+  /// Builds an unlabeled batch from raw token-id sequences, padding to the
+  /// longest one with `pad_id`. This is the serving path: requests arrive
+  /// as bare token sequences with no labels or annotations (labels are
+  /// zero-filled, rationales empty). Every sequence must be non-empty.
+  static Batch FromTokenSequences(
+      const std::vector<std::vector<int64_t>>& sequences, int64_t pad_id);
 };
 
 }  // namespace data

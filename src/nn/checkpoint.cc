@@ -3,7 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "tensor/check.h"
 
 namespace dar {
 namespace nn {
@@ -11,14 +14,15 @@ namespace nn {
 namespace {
 
 constexpr char kMagic[] = "DARCKPT";
-constexpr int kVersion = 1;
+constexpr int kSingleModuleVersion = 1;
+constexpr int kBundleVersion = 2;
 
-}  // namespace
+// max_digits10 significant decimal digits round-trip any finite IEEE-754
+// single-precision value bit-exactly through text.
+constexpr int kFloatDigits = std::numeric_limits<float>::max_digits10;
 
-std::string SerializeCheckpoint(const Module& module) {
+void WriteParams(std::ostringstream& os, const Module& module) {
   std::vector<NamedParameter> params = module.Parameters();
-  std::ostringstream os;
-  os << kMagic << ' ' << kVersion << '\n';
   os << "params " << params.size() << '\n';
   for (const NamedParameter& p : params) {
     const Tensor& value = p.variable.value();
@@ -28,11 +32,117 @@ std::string SerializeCheckpoint(const Module& module) {
     os << '\n';
     for (int64_t i = 0; i < value.numel(); ++i) {
       if (i) os << ' ';
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.9g", value.flat(i));
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.*g", kFloatDigits, value.flat(i));
       os << buf;
     }
     os << '\n';
+  }
+}
+
+bool ReadParams(std::istringstream& is, Module& module, std::string& error) {
+  std::string keyword;
+  size_t count = 0;
+  if (!(is >> keyword >> count) || keyword != "params") {
+    error = "missing params header";
+    return false;
+  }
+  std::vector<NamedParameter> params = module.Parameters();
+  if (count != params.size()) {
+    std::ostringstream os;
+    os << "parameter count mismatch: checkpoint has " << count
+       << ", module has " << params.size();
+    error = os.str();
+    return false;
+  }
+  for (NamedParameter& p : params) {
+    std::string name;
+    if (!(is >> keyword >> name) || keyword != "name") {
+      error = "malformed record (expected 'name')";
+      return false;
+    }
+    if (name != p.name) {
+      error = "parameter name mismatch: checkpoint '" + name +
+              "' vs module '" + p.name + "'";
+      return false;
+    }
+    if (!(is >> keyword) || keyword != "shape") {
+      error = "malformed record (expected 'shape') for " + name;
+      return false;
+    }
+    Shape expected = p.variable.value().shape();
+    Shape got;
+    for (size_t d = 0; d < expected.size(); ++d) {
+      int64_t dim = 0;
+      if (!(is >> dim)) {
+        error = "truncated shape for " + name;
+        return false;
+      }
+      got.push_back(dim);
+    }
+    if (got != expected) {
+      error = "shape mismatch for " + name + ": checkpoint " +
+              ShapeToString(got) + " vs module " + ShapeToString(expected);
+      return false;
+    }
+    Tensor value(expected);
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      float v = 0.0f;
+      if (!(is >> v)) {
+        error = "truncated values for " + name;
+        return false;
+      }
+      value.flat(i) = v;
+    }
+    p.variable.mutable_value() = std::move(value);
+  }
+  return true;
+}
+
+bool ReadHeader(std::istringstream& is, int expected_version,
+                std::string& error) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    error = "not a DAR checkpoint (bad magic)";
+    return false;
+  }
+  if (version != expected_version) {
+    std::ostringstream os;
+    os << "unsupported checkpoint version " << version << " (expected "
+       << expected_version << ")";
+    error = os.str();
+    return false;
+  }
+  return true;
+}
+
+std::string ReadFileOrEmpty(const std::string& path, bool& ok) {
+  std::ifstream file(path);
+  ok = static_cast<bool>(file);
+  if (!ok) return std::string();
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const Module& module) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kSingleModuleVersion << '\n';
+  WriteParams(os, module);
+  return os.str();
+}
+
+std::string SerializeCheckpoint(const std::vector<NamedModule>& modules) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kBundleVersion << '\n';
+  os << "modules " << modules.size() << '\n';
+  for (const NamedModule& m : modules) {
+    DAR_CHECK(m.module != nullptr);
+    os << "module " << m.name << '\n';
+    WriteParams(os, *m.module);
   }
   return os.str();
 }
@@ -41,71 +151,46 @@ CheckpointResult DeserializeCheckpoint(Module& module,
                                        const std::string& text) {
   CheckpointResult result;
   std::istringstream is(text);
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != kMagic) {
-    result.error = "not a DAR checkpoint (bad magic)";
-    return result;
-  }
-  if (version != kVersion) {
-    result.error = "unsupported checkpoint version";
-    return result;
-  }
+  if (!ReadHeader(is, kSingleModuleVersion, result.error)) return result;
+  if (!ReadParams(is, module, result.error)) return result;
+  result.ok = true;
+  return result;
+}
+
+CheckpointResult DeserializeCheckpoint(const std::vector<NamedModule>& modules,
+                                       const std::string& text) {
+  CheckpointResult result;
+  std::istringstream is(text);
+  if (!ReadHeader(is, kBundleVersion, result.error)) return result;
   std::string keyword;
   size_t count = 0;
-  if (!(is >> keyword >> count) || keyword != "params") {
-    result.error = "missing params header";
+  if (!(is >> keyword >> count) || keyword != "modules") {
+    result.error = "missing modules header";
     return result;
   }
-  std::vector<NamedParameter> params = module.Parameters();
-  if (count != params.size()) {
+  if (count != modules.size()) {
     std::ostringstream os;
-    os << "parameter count mismatch: checkpoint has " << count
-       << ", module has " << params.size();
+    os << "module count mismatch: checkpoint has " << count << ", target has "
+       << modules.size();
     result.error = os.str();
     return result;
   }
-  for (NamedParameter& p : params) {
+  for (const NamedModule& m : modules) {
+    DAR_CHECK(m.module != nullptr);
     std::string name;
-    if (!(is >> keyword >> name) || keyword != "name") {
-      result.error = "malformed record (expected 'name')";
+    if (!(is >> keyword >> name) || keyword != "module") {
+      result.error = "malformed bundle (expected 'module')";
       return result;
     }
-    if (name != p.name) {
-      result.error = "parameter name mismatch: checkpoint '" + name +
-                     "' vs module '" + p.name + "'";
+    if (name != m.name) {
+      result.error = "module name mismatch: checkpoint '" + name +
+                     "' vs target '" + m.name + "'";
       return result;
     }
-    if (!(is >> keyword) || keyword != "shape") {
-      result.error = "malformed record (expected 'shape') for " + name;
+    if (!ReadParams(is, *m.module, result.error)) {
+      result.error = "module '" + m.name + "': " + result.error;
       return result;
     }
-    Shape expected = p.variable.value().shape();
-    Shape got;
-    for (size_t d = 0; d < expected.size(); ++d) {
-      int64_t dim = 0;
-      if (!(is >> dim)) {
-        result.error = "truncated shape for " + name;
-        return result;
-      }
-      got.push_back(dim);
-    }
-    if (got != expected) {
-      result.error = "shape mismatch for " + name + ": checkpoint " +
-                     ShapeToString(got) + " vs module " +
-                     ShapeToString(expected);
-      return result;
-    }
-    Tensor value(expected);
-    for (int64_t i = 0; i < value.numel(); ++i) {
-      float v = 0.0f;
-      if (!(is >> v)) {
-        result.error = "truncated values for " + name;
-        return result;
-      }
-      value.flat(i) = v;
-    }
-    p.variable.mutable_value() = std::move(value);
   }
   result.ok = true;
   return result;
@@ -118,16 +203,35 @@ bool SaveCheckpoint(const Module& module, const std::string& path) {
   return static_cast<bool>(file);
 }
 
+bool SaveCheckpoint(const std::vector<NamedModule>& modules,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << SerializeCheckpoint(modules);
+  return static_cast<bool>(file);
+}
+
 CheckpointResult LoadCheckpoint(Module& module, const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
+  bool ok = false;
+  std::string text = ReadFileOrEmpty(path, ok);
+  if (!ok) {
     CheckpointResult result;
     result.error = "cannot open file: " + path;
     return result;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return DeserializeCheckpoint(module, buffer.str());
+  return DeserializeCheckpoint(module, text);
+}
+
+CheckpointResult LoadCheckpoint(const std::vector<NamedModule>& modules,
+                                const std::string& path) {
+  bool ok = false;
+  std::string text = ReadFileOrEmpty(path, ok);
+  if (!ok) {
+    CheckpointResult result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  return DeserializeCheckpoint(modules, text);
 }
 
 }  // namespace nn

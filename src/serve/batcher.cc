@@ -1,0 +1,170 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace serve {
+
+MicroBatcher::MicroBatcher(const InferenceSession& session,
+                           BatcherConfig config)
+    : session_(&session), config_(config) {
+  DAR_CHECK_GT(config_.max_batch, 0);
+  DAR_CHECK_GE(config_.max_wait_us, 0);
+  DAR_CHECK_GT(config_.num_workers, 0);
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
+  Pending pending;
+  pending.tokens = session_->Encode(text);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<InferenceResult> future = pending.promise.get_future();
+  bool notify;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DAR_CHECK(!stop_);
+    if (config_.max_queue > 0) {
+      space_cv_.wait(lock, [this] {
+        return static_cast<int64_t>(queue_.size()) < config_.max_queue;
+      });
+      DAR_CHECK(!stop_);
+    }
+    queue_.push_back(std::move(pending));
+    // Workers only wait while the queue is below one full batch; past that
+    // they are busy computing, so the wake would be wasted work.
+    notify = static_cast<int64_t>(queue_.size()) <= config_.max_batch;
+  }
+  if (notify) cv_.notify_one();
+  return future;
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::vector<MicroBatcher::Pending> MicroBatcher::TakeBatchLocked(size_t take) {
+  std::vector<Pending> taken;
+  taken.reserve(take);
+  if (queue_.size() == take) {
+    for (size_t i = 0; i < take; ++i) {
+      taken.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return taken;
+  }
+
+  // Oversubscribed: the batch's forward costs O(take x longest sequence),
+  // so mixing a short request with a long one pays for padding. Scan a
+  // bounded front region of the queue, order it by length, and take the
+  // `take`-wide window with the smallest maximum length among windows that
+  // contain the oldest request — homogeneous lengths without starvation.
+  const size_t scan = std::min(queue_.size(), take * kLengthScanFactor);
+  std::vector<size_t> order(scan);  // queue indices, to be length-sorted
+  for (size_t i = 0; i < scan; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return queue_[a].tokens.size() < queue_[b].tokens.size();
+  });
+  size_t oldest_pos = 0;  // position of queue front in sorted order
+  for (size_t i = 0; i < scan; ++i) {
+    if (order[i] == 0) {
+      oldest_pos = i;
+      break;
+    }
+  }
+  const size_t lo = oldest_pos >= take - 1 ? oldest_pos - (take - 1) : 0;
+  const size_t hi = std::min(oldest_pos, scan - take);
+  size_t best = lo;
+  for (size_t s = lo; s <= hi; ++s) {
+    if (queue_[order[s + take - 1]].tokens.size() <
+        queue_[order[best + take - 1]].tokens.size()) {
+      best = s;
+    }
+  }
+
+  std::vector<size_t> chosen(order.begin() + best, order.begin() + best + take);
+  std::sort(chosen.begin(), chosen.end());
+  for (size_t idx : chosen) taken.push_back(std::move(queue_[idx]));
+  // Compact the scanned region: keep the unchosen entries, in order.
+  std::vector<Pending> kept;
+  kept.reserve(scan - take);
+  size_t next_chosen = 0;
+  for (size_t i = 0; i < scan; ++i) {
+    if (next_chosen < chosen.size() && chosen[next_chosen] == i) {
+      ++next_chosen;
+    } else {
+      kept.push_back(std::move(queue_[i]));
+    }
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(scan));
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  return taken;
+}
+
+void MicroBatcher::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> taken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      if (!stop_ && config_.max_wait_us > 0 &&
+          static_cast<int64_t>(queue_.size()) < config_.max_batch) {
+        // Linger briefly so concurrent submitters can fill the batch; wake
+        // early once it is full or shutdown begins.
+        cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
+                     [this] {
+                       return stop_ || static_cast<int64_t>(queue_.size()) >=
+                                           config_.max_batch;
+                     });
+      }
+      size_t take = std::min(queue_.size(),
+                             static_cast<size_t>(config_.max_batch));
+      if (take == 0) continue;
+      taken = TakeBatchLocked(take);
+    }
+    // Another worker may still be needed for what remains in the queue,
+    // and blocked submitters now have space.
+    cv_.notify_one();
+    if (config_.max_queue > 0) space_cv_.notify_all();
+
+    std::vector<std::vector<int64_t>> sequences;
+    sequences.reserve(taken.size());
+    for (const Pending& p : taken) sequences.push_back(p.tokens);
+    std::vector<InferenceResult> results =
+        session_->PredictTokenBatch(sequences);
+
+    auto now = std::chrono::steady_clock::now();
+    std::vector<int64_t> latencies;
+    latencies.reserve(taken.size());
+    for (const Pending& p : taken) {
+      latencies.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                              now - p.enqueued)
+                              .count());
+    }
+    session_->stats().RecordLatenciesUs(latencies);
+    for (size_t i = 0; i < taken.size(); ++i) {
+      taken[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace dar

@@ -1,0 +1,106 @@
+// Dynamic micro-batching for single-request traffic.
+//
+// Callers submit one text at a time and get a future; a pool of worker
+// threads drains the shared queue, coalescing up to `max_batch` waiting
+// requests (lingering up to `max_wait_us` for stragglers) into one padded
+// batch, runs a single forward through the session, and fulfills each
+// request's future. Deterministic eval masks guarantee batched results are
+// identical to the single-request path — padding cannot leak across rows
+// because every op is gated on the validity mask.
+//
+// When the queue holds more requests than fit in one batch, workers pick a
+// *length-homogeneous* subset from the front region of the queue instead
+// of a strict FIFO slice: a padded batch costs O(max_batch x longest
+// sequence), so batching a short request with a long one wastes compute on
+// padding. The oldest request is always included, so selection never
+// starves anyone.
+#ifndef DAR_SERVE_BATCHER_H_
+#define DAR_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace dar {
+namespace serve {
+
+/// Tuning knobs for the micro-batcher.
+struct BatcherConfig {
+  /// Largest number of requests coalesced into one forward.
+  int64_t max_batch = 16;
+  /// How long a worker lingers for the batch to fill once it has at least
+  /// one request (0 = greedy: take whatever is queued).
+  int64_t max_wait_us = 200;
+  /// Worker threads draining the queue.
+  int num_workers = 2;
+  /// Admission bound: Submit blocks while this many requests are already
+  /// queued (0 = unbounded). Backpressure keeps queueing delay and the
+  /// queue's memory footprint bounded when producers outrun the model.
+  int64_t max_queue = 0;
+};
+
+/// Multi-threaded micro-batching front of an InferenceSession.
+class MicroBatcher {
+ public:
+  /// `session` must outlive the batcher.
+  MicroBatcher(const InferenceSession& session, BatcherConfig config);
+
+  /// Drains outstanding requests, then joins the workers.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one text; the future resolves once a worker has served it.
+  /// Blocks while the queue is at `max_queue` (when bounded). Thread-safe;
+  /// every Submit must have returned before Shutdown begins.
+  std::future<InferenceResult> Submit(const std::string& text);
+
+  /// Stops accepting requests, serves everything still queued, and joins
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    std::vector<int64_t> tokens;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// How far past one batch the length-aware selection looks into the
+  /// queue; bounds selection cost to O(scan log scan) under the lock.
+  static constexpr size_t kLengthScanFactor = 8;
+
+  /// Removes and returns `take` requests from the queue: the whole queue
+  /// when it fits, otherwise a length-homogeneous subset that always
+  /// includes the oldest request. Requires `mu_` held and
+  /// `take <= queue_.size()`.
+  std::vector<Pending> TakeBatchLocked(size_t take);
+
+  void WorkerLoop();
+
+  const InferenceSession* session_;
+  BatcherConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable space_cv_;  // signaled when queued count drops
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace dar
+
+#endif  // DAR_SERVE_BATCHER_H_

@@ -1,0 +1,51 @@
+// Named multi-model serving: one InferenceSession per checkpoint (e.g. one
+// per dataset aspect), with request routing by model name.
+#ifndef DAR_SERVE_REGISTRY_H_
+#define DAR_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace dar {
+namespace serve {
+
+/// Thread-safe name -> session map. Sessions are shared_ptr so a request
+/// in flight keeps its model alive even if it is concurrently replaced.
+class ModelRegistry {
+ public:
+  /// Registers (or hot-swaps) a session under `name`.
+  void Register(const std::string& name,
+                std::shared_ptr<InferenceSession> session);
+
+  /// Removes `name`; returns false if it was not registered. In-flight
+  /// requests holding the session keep it alive until they finish.
+  bool Unregister(const std::string& name);
+
+  /// The session for `name`, or nullptr.
+  std::shared_ptr<InferenceSession> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return Get(name) != nullptr; }
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Routes one request to the named model. nullopt when `name` is not
+  /// registered.
+  std::optional<InferenceResult> Predict(const std::string& name,
+                                         const std::string& text) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<InferenceSession>> sessions_;
+};
+
+}  // namespace serve
+}  // namespace dar
+
+#endif  // DAR_SERVE_REGISTRY_H_

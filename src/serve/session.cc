@@ -1,0 +1,114 @@
+#include "serve/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "data/tokenizer.h"
+#include "tensor/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dar {
+namespace serve {
+
+std::vector<RationaleSpan> MaskToSpans(const std::vector<uint8_t>& mask) {
+  std::vector<RationaleSpan> spans;
+  int64_t begin = -1;
+  for (size_t t = 0; t <= mask.size(); ++t) {
+    bool selected = t < mask.size() && mask[t] != 0;
+    if (selected && begin < 0) {
+      begin = static_cast<int64_t>(t);
+    } else if (!selected && begin >= 0) {
+      spans.push_back({begin, static_cast<int64_t>(t)});
+      begin = -1;
+    }
+  }
+  return spans;
+}
+
+InferenceSession::InferenceSession(
+    std::unique_ptr<core::RationalizerBase> model, data::Vocabulary vocab)
+    : model_(std::move(model)), vocab_(std::move(vocab)) {
+  DAR_CHECK(model_ != nullptr);
+  // Pin eval mode once: dropout becomes the identity and EvalMaskConst is
+  // deterministic, so concurrent const forwards are safe.
+  model_->SetTraining(false);
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::FromCheckpoint(
+    std::unique_ptr<core::RationalizerBase> model, data::Vocabulary vocab,
+    const std::string& path, std::string* error) {
+  DAR_CHECK(model != nullptr);
+  nn::CheckpointResult result = core::LoadRationalizer(*model, path);
+  if (!result.ok) {
+    if (error != nullptr) *error = result.error;
+    return nullptr;
+  }
+  return std::make_unique<InferenceSession>(std::move(model),
+                                            std::move(vocab));
+}
+
+std::vector<int64_t> InferenceSession::Encode(const std::string& text) const {
+  std::vector<int64_t> ids = data::Encode(text, vocab_);
+  if (ids.empty()) ids.push_back(data::Vocabulary::kUnkId);
+  return ids;
+}
+
+InferenceResult InferenceSession::Predict(const std::string& text) const {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<InferenceResult> results = PredictTokenBatch({Encode(text)});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  stats_.RecordLatencyUs(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  return std::move(results[0]);
+}
+
+std::vector<InferenceResult> InferenceSession::PredictTokenBatch(
+    const std::vector<std::vector<int64_t>>& sequences) const {
+  data::Batch batch =
+      data::Batch::FromTokenSequences(sequences, data::Vocabulary::kPadId);
+  Tensor mask = model_->EvalMaskConst(batch);
+  Tensor logits = model_->PredictLogitsConst(batch, mask);
+  Tensor probs = SoftmaxRows(logits);
+  stats_.RecordBatch(batch.batch_size());
+
+  int64_t num_classes = logits.size(1);
+  std::vector<InferenceResult> results;
+  results.reserve(sequences.size());
+  for (int64_t i = 0; i < batch.batch_size(); ++i) {
+    const std::vector<int64_t>& ids = sequences[static_cast<size_t>(i)];
+    int64_t len = static_cast<int64_t>(ids.size());
+    InferenceResult r;
+    r.probs.resize(static_cast<size_t>(num_classes));
+    for (int64_t c = 0; c < num_classes; ++c) {
+      r.probs[static_cast<size_t>(c)] = probs.at(i, c);
+      if (probs.at(i, c) > r.probs[static_cast<size_t>(r.label)]) r.label = c;
+    }
+    r.confidence = r.probs[static_cast<size_t>(r.label)];
+    r.tokens.reserve(static_cast<size_t>(len));
+    r.mask.reserve(static_cast<size_t>(len));
+    for (int64_t t = 0; t < len; ++t) {
+      r.tokens.push_back(vocab_.Token(ids[static_cast<size_t>(t)]));
+      r.mask.push_back(mask.at(i, t) > 0.5f ? 1 : 0);
+    }
+    r.spans = MaskToSpans(r.mask);
+    for (const RationaleSpan& span : r.spans) {
+      for (int64_t t = span.begin; t < span.end; ++t) {
+        if (!r.rationale_text.empty()) r.rationale_text += ' ';
+        r.rationale_text += r.tokens[static_cast<size_t>(t)];
+      }
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<InferenceResult> InferenceSession::PredictBatch(
+    const std::vector<std::string>& texts) const {
+  std::vector<std::vector<int64_t>> sequences;
+  sequences.reserve(texts.size());
+  for (const std::string& text : texts) sequences.push_back(Encode(text));
+  return PredictTokenBatch(sequences);
+}
+
+}  // namespace serve
+}  // namespace dar

@@ -1,0 +1,106 @@
+// Inference over a trained rationalizer: raw text in, label + confidence +
+// extracted rationale out.
+//
+// An InferenceSession owns a trained RationalizerBase, pins it in eval
+// mode, and exposes only the const, thread-compatible forward path
+// (EvalMaskConst / PredictLogitsConst): any number of threads may call
+// Predict / PredictTokenBatch on the same session concurrently. This is the
+// building block the micro-batcher (serve/batcher.h) and the model
+// registry (serve/registry.h) compose into a serving stack.
+#ifndef DAR_SERVE_SESSION_H_
+#define DAR_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rationalizer.h"
+#include "data/vocabulary.h"
+#include "serve/stats.h"
+
+namespace dar {
+namespace serve {
+
+/// Half-open token-index interval [begin, end) of one contiguous rationale
+/// chunk. A response carries one span per maximal run of selected tokens.
+struct RationaleSpan {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  bool operator==(const RationaleSpan& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// Everything the serving API returns for one text.
+struct InferenceResult {
+  /// Predicted class in [0, num_classes).
+  int64_t label = 0;
+  /// Softmax probability of `label` over the rationale logits.
+  float confidence = 0.0f;
+  /// Full class distribution, length num_classes.
+  std::vector<float> probs;
+  /// The request's tokens as the model saw them (<unk> for OOV words).
+  std::vector<std::string> tokens;
+  /// Per-token rationale selection, aligned with `tokens` (1 = selected).
+  std::vector<uint8_t> mask;
+  /// Maximal runs of selected tokens, in order.
+  std::vector<RationaleSpan> spans;
+  /// The selected tokens joined with spaces (the human-readable rationale).
+  std::string rationale_text;
+};
+
+/// Collapses a per-token 0/1 mask into its maximal selected runs.
+std::vector<RationaleSpan> MaskToSpans(const std::vector<uint8_t>& mask);
+
+/// A loaded model ready to answer requests.
+class InferenceSession {
+ public:
+  /// Takes ownership of `model` (already trained, or about to be restored
+  /// from a checkpoint) and a copy of the vocabulary it was trained with.
+  /// The model is switched to eval mode once and must not be mutated for
+  /// the session's lifetime.
+  InferenceSession(std::unique_ptr<core::RationalizerBase> model,
+                   data::Vocabulary vocab);
+
+  /// Builds a session by restoring `model`'s parameters from a checkpoint
+  /// written by core::SaveRationalizer. Returns nullptr (and fills `error`
+  /// if given) when the checkpoint does not match the model.
+  static std::unique_ptr<InferenceSession> FromCheckpoint(
+      std::unique_ptr<core::RationalizerBase> model, data::Vocabulary vocab,
+      const std::string& path, std::string* error = nullptr);
+
+  /// Tokenizes and encodes one text. Empty or all-whitespace texts encode
+  /// to a single <unk> token so every request stays servable.
+  std::vector<int64_t> Encode(const std::string& text) const;
+
+  /// Serves one text synchronously (no batching). Thread-safe.
+  InferenceResult Predict(const std::string& text) const;
+
+  /// Serves a batch of already-encoded requests with a single forward:
+  /// the micro-batcher's execution path. Thread-safe.
+  std::vector<InferenceResult> PredictTokenBatch(
+      const std::vector<std::vector<int64_t>>& sequences) const;
+
+  /// Serves several texts with one forward. Thread-safe.
+  std::vector<InferenceResult> PredictBatch(
+      const std::vector<std::string>& texts) const;
+
+  const core::RationalizerBase& model() const { return *model_; }
+  const data::Vocabulary& vocab() const { return vocab_; }
+
+  /// Serving statistics for this session (both the naive Predict path and
+  /// the micro-batched path record here).
+  ServingStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<core::RationalizerBase> model_;
+  data::Vocabulary vocab_;
+  mutable ServingStats stats_;
+};
+
+}  // namespace serve
+}  // namespace dar
+
+#endif  // DAR_SERVE_SESSION_H_

@@ -1,0 +1,83 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dar {
+namespace serve {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample (0 for an empty one).
+int64_t PercentileSorted(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "requests=%lld batches=%lld mean_batch=%.2f "
+                "p50=%lldus p95=%lldus p99=%lldus max=%lldus",
+                static_cast<long long>(requests),
+                static_cast<long long>(batches), mean_batch_size,
+                static_cast<long long>(latency_p50_us),
+                static_cast<long long>(latency_p95_us),
+                static_cast<long long>(latency_p99_us),
+                static_cast<long long>(latency_max_us));
+  return std::string(buf);
+}
+
+void ServingStats::RecordBatch(int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  requests_ += batch_size;
+  ++batch_size_histogram_[batch_size];
+}
+
+void ServingStats::RecordLatencyUs(int64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_us_.push_back(us);
+}
+
+void ServingStats::RecordLatenciesUs(const std::vector<int64_t>& us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_us_.insert(latencies_us_.end(), us.begin(), us.end());
+}
+
+StatsSnapshot ServingStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snapshot;
+  snapshot.requests = requests_;
+  snapshot.batches = batches_;
+  snapshot.batch_size_histogram = batch_size_histogram_;
+  if (batches_ > 0) {
+    snapshot.mean_batch_size =
+        static_cast<double>(requests_) / static_cast<double>(batches_);
+  }
+  std::vector<int64_t> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  snapshot.latency_p50_us = PercentileSorted(sorted, 50.0);
+  snapshot.latency_p95_us = PercentileSorted(sorted, 95.0);
+  snapshot.latency_p99_us = PercentileSorted(sorted, 99.0);
+  snapshot.latency_max_us = sorted.empty() ? 0 : sorted.back();
+  return snapshot;
+}
+
+void ServingStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ = 0;
+  batches_ = 0;
+  batch_size_histogram_.clear();
+  latencies_us_.clear();
+}
+
+}  // namespace serve
+}  // namespace dar

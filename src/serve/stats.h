@@ -1,0 +1,67 @@
+// Serving-side observability: request counters, batch-size histogram, and
+// latency percentiles, shared by the naive and micro-batched paths.
+#ifndef DAR_SERVE_STATS_H_
+#define DAR_SERVE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dar {
+namespace serve {
+
+/// Point-in-time copy of a session's serving statistics.
+struct StatsSnapshot {
+  /// Requests whose result has been produced.
+  int64_t requests = 0;
+  /// Model forwards executed (== requests for the unbatched path).
+  int64_t batches = 0;
+  /// batch size -> number of batches of that size.
+  std::map<int64_t, int64_t> batch_size_histogram;
+  /// Mean requests per forward (0 when nothing has been served).
+  double mean_batch_size = 0.0;
+  /// End-to-end request latency percentiles in microseconds (enqueue to
+  /// fulfillment for the batched path, call duration for the naive path).
+  int64_t latency_p50_us = 0;
+  int64_t latency_p95_us = 0;
+  int64_t latency_p99_us = 0;
+  int64_t latency_max_us = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Thread-safe statistics accumulator owned by an InferenceSession.
+///
+/// Latencies are kept exactly (one int64 per request); at the traffic
+/// volumes the benches generate this is a few MB at most, and exact
+/// percentiles keep the serving numbers reproducible.
+class ServingStats {
+ public:
+  /// Records one executed forward covering `batch_size` requests.
+  void RecordBatch(int64_t batch_size);
+
+  /// Records one fulfilled request's end-to-end latency.
+  void RecordLatencyUs(int64_t us);
+
+  /// Records a whole batch worth of latencies under one lock acquisition.
+  void RecordLatenciesUs(const std::vector<int64_t>& us);
+
+  StatsSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  int64_t requests_ = 0;
+  int64_t batches_ = 0;
+  std::map<int64_t, int64_t> batch_size_histogram_;
+  std::vector<int64_t> latencies_us_;
+};
+
+}  // namespace serve
+}  // namespace dar
+
+#endif  // DAR_SERVE_STATS_H_

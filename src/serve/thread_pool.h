@@ -1,0 +1,56 @@
+// A small fixed-size thread pool.
+//
+// The micro-batcher owns dedicated worker threads (its scheduling is
+// latency-sensitive and coupled to the queue), so this pool serves the
+// *client* side of the serving stack: fanning out request producers in the
+// throughput bench, the demo, and tests, and as the substrate for future
+// front-ends (e.g. an HTTP accept loop).
+#ifndef DAR_SERVE_THREAD_POOL_H_
+#define DAR_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dar {
+namespace serve {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(int num_threads);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace dar
+
+#endif  // DAR_SERVE_THREAD_POOL_H_

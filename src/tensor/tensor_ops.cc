@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "tensor/check.h"
 
@@ -99,12 +101,55 @@ Tensor Log(const Tensor& a, float eps) {
   return Unary(a, [eps](float x) { return std::log(std::max(x, eps)); });
 }
 
+namespace {
+
+// Branch-free single-precision e^x (Cephes-style range reduction plus a
+// degree-5 polynomial), |relative error| < 2e-7 across the clamped range.
+// Plain arithmetic end to end, so the elementwise sigmoid/tanh loops below
+// auto-vectorize instead of calling scalar libm — those two kernels run
+// hundreds of thousands of libm calls per batched forward otherwise.
+inline float FastExp(float x) {
+  x = std::min(88.0f, std::max(-87.0f, x));
+  float z = std::floor(x * 1.44269504089f + 0.5f);  // round(x / ln 2)
+  x -= z * 0.693359375f;                            // ln 2, high part
+  x -= z * -2.12194440e-4f;                         // ln 2, low part
+  float y = 1.9875691500e-4f;
+  y = y * x + 1.3981999507e-3f;
+  y = y * x + 8.3334519073e-3f;
+  y = y * x + 4.1665795894e-2f;
+  y = y * x + 1.6666665459e-1f;
+  y = y * x + 5.0000001201e-1f;
+  y = y * x * x + x + 1.0f;
+  // 2^z via exponent bits; z is integral and within [-126, 127] after the
+  // clamp, so the bit pattern is a valid normal float.
+  uint32_t bits = static_cast<uint32_t>(static_cast<int32_t>(z) + 127) << 23;
+  float pow2;
+  std::memcpy(&pow2, &bits, sizeof(pow2));
+  return y * pow2;
+}
+
+}  // namespace
+
 Tensor Tanh(const Tensor& a) {
-  return Unary(a, [](float x) { return std::tanh(x); });
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = 2.0f / (1.0f + FastExp(-2.0f * pa[i])) - 1.0f;
+  }
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = 1.0f / (1.0f + FastExp(-pa[i]));
+  }
+  return out;
 }
 
 Tensor Relu(const Tensor& a) {

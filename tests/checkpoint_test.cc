@@ -2,10 +2,14 @@
 #include "nn/checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "core/dar.h"
 #include "core/predictor.h"
+#include "core/rnp.h"
 #include "nn/gru.h"
 #include "nn/linear.h"
 
@@ -90,6 +94,101 @@ TEST(CheckpointTest, MissingFileReportsError) {
   CheckpointResult result = LoadCheckpoint(linear, "/nonexistent/x.ckpt");
   EXPECT_FALSE(result.ok);
   EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+TEST(CheckpointTest, RoundTripIsBitExact) {
+  // A served model must match the trained one exactly: every float must
+  // survive the text round trip bit-for-bit, including values that are not
+  // representable in few decimal digits and extreme magnitudes.
+  Pcg32 rng(42);
+  Linear a(8, 8, rng), b(8, 8, rng);
+  ag::Variable weight = a.weight();  // shared handle to the parameter node
+  Tensor& w = weight.mutable_value();
+  w.flat(0) = 1.0f / 3.0f;
+  w.flat(1) = 0.1f;
+  w.flat(2) = std::numeric_limits<float>::min();       // smallest normal
+  w.flat(3) = std::numeric_limits<float>::denorm_min();  // subnormal
+  w.flat(4) = std::numeric_limits<float>::max();
+  w.flat(5) = -1.0f / 3.0f;
+  w.flat(6) = 3.14159274f;
+  w.flat(7) = 1e-20f;
+
+  CheckpointResult result = DeserializeCheckpoint(b, SerializeCheckpoint(a));
+  ASSERT_TRUE(result.ok) << result.error;
+  std::vector<NamedParameter> pa = a.Parameters(), pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const Tensor& va = pa[i].variable.value();
+    const Tensor& vb = pb[i].variable.value();
+    ASSERT_EQ(va.numel(), vb.numel());
+    EXPECT_EQ(std::memcmp(va.data(), vb.data(),
+                          sizeof(float) * static_cast<size_t>(va.numel())),
+              0)
+        << pa[i].name << " not bit-exact";
+  }
+}
+
+TEST(CheckpointTest, BundleRoundTripAcrossRationalizer) {
+  // Save/LoadRationalizer moves a whole trained model (all player modules)
+  // through the multi-module bundle format.
+  core::TrainConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 6;
+  Pcg32 rng(21);
+  Tensor embeddings = Tensor::Randn({14, 8}, rng, 0.3f);
+
+  core::DarModel a(embeddings, config);
+  config.seed = 777;
+  core::DarModel b(embeddings, config);
+
+  std::string path = ::testing::TempDir() + "/dar_bundle_test.ckpt";
+  ASSERT_TRUE(core::SaveRationalizer(a, path));
+  CheckpointResult result = core::LoadRationalizer(b, path);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // Every module restored bit-exactly, discriminator included.
+  std::vector<nn::NamedModule> ma = a.CheckpointModules();
+  std::vector<nn::NamedModule> mb = b.CheckpointModules();
+  ASSERT_EQ(ma.size(), 3u);
+  for (size_t m = 0; m < ma.size(); ++m) {
+    std::vector<NamedParameter> pa = ma[m].module->Parameters();
+    std::vector<NamedParameter> pb = mb[m].module->Parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+      const Tensor& va = pa[i].variable.value();
+      const Tensor& vb = pb[i].variable.value();
+      EXPECT_EQ(std::memcmp(va.data(), vb.data(),
+                            sizeof(float) * static_cast<size_t>(va.numel())),
+                0)
+          << ma[m].name << "/" << pa[i].name;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BundleRejectsModuleMismatch) {
+  core::TrainConfig config;
+  config.embedding_dim = 8;
+  config.hidden_dim = 6;
+  Pcg32 rng(22);
+  Tensor embeddings = Tensor::Randn({14, 8}, rng, 0.3f);
+
+  // DAR has three modules, RNP two: the bundle must refuse to cross-load.
+  core::DarModel dar_model(embeddings, config);
+  core::RnpModel rnp_model(embeddings, config);
+  std::string text = SerializeCheckpoint(dar_model.CheckpointModules());
+  CheckpointResult result =
+      DeserializeCheckpoint(rnp_model.CheckpointModules(), text);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("module count mismatch"), std::string::npos);
+
+  // A single-module checkpoint is not a bundle and vice versa.
+  Linear linear(2, 2, rng);
+  result = DeserializeCheckpoint(rnp_model.CheckpointModules(),
+                                 SerializeCheckpoint(linear));
+  EXPECT_FALSE(result.ok);
+  result = DeserializeCheckpoint(linear, text);
+  EXPECT_FALSE(result.ok);
 }
 
 TEST(CheckpointTest, PreservesValuesAcrossWholePredictor) {

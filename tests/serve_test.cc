@@ -1,0 +1,395 @@
+// Tests for the serving subsystem (src/serve/): session, micro-batcher,
+// registry, stats, thread pool, and checkpoint-restored serving.
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/dar.h"
+#include "core/rnp.h"
+#include "datasets/beer.h"
+#include "eval/experiment.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "serve/thread_pool.h"
+
+namespace dar {
+namespace serve {
+namespace {
+
+/// A tiny dataset + untrained RNP model: serving correctness (batched ==
+/// unbatched, determinism, routing) does not require a trained model, and
+/// random weights still produce non-trivial masks and logits.
+datasets::SyntheticDataset TinyDataset(uint64_t seed = 3) {
+  return datasets::MakeBeerDataset(datasets::BeerAspect::kAppearance,
+                                   {.train = 40, .dev = 10, .test = 10}, seed);
+}
+
+core::TrainConfig TinyConfig() {
+  core::TrainConfig config;
+  config.embedding_dim = 16;
+  config.hidden_dim = 8;
+  return config;
+}
+
+std::unique_ptr<InferenceSession> MakeSession(uint64_t seed = 3) {
+  datasets::SyntheticDataset dataset = TinyDataset(seed);
+  core::TrainConfig config = TinyConfig();
+  config.seed = seed;
+  auto model = std::make_unique<core::RnpModel>(
+      eval::BuildEmbeddings(dataset, config), config);
+  return std::make_unique<InferenceSession>(std::move(model), dataset.vocab);
+}
+
+/// Sample request texts built from dataset vocabulary tokens (so they
+/// exercise real embeddings) with varying lengths.
+std::vector<std::string> SampleTexts(const datasets::SyntheticDataset& dataset,
+                                     size_t count) {
+  std::vector<std::string> texts;
+  Pcg32 rng(99);
+  for (size_t i = 0; i < count; ++i) {
+    int len = 3 + static_cast<int>(rng.Below(12));
+    std::string text;
+    for (int t = 0; t < len; ++t) {
+      if (t) text += ' ';
+      // Skip <pad>/<unk>: real requests carry real words.
+      int64_t id = 2 + static_cast<int64_t>(
+                           rng.Below(static_cast<uint32_t>(
+                               dataset.vocab.size() - 2)));
+      text += dataset.vocab.Token(id);
+    }
+    texts.push_back(text);
+  }
+  return texts;
+}
+
+void ExpectSameResult(const InferenceResult& a, const InferenceResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_FLOAT_EQ(a.confidence, b.confidence);
+  ASSERT_EQ(a.mask.size(), b.mask.size());
+  EXPECT_EQ(a.mask, b.mask);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.rationale_text, b.rationale_text);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (size_t s = 0; s < a.spans.size(); ++s) {
+    EXPECT_TRUE(a.spans[s] == b.spans[s]);
+  }
+}
+
+TEST(MaskToSpansTest, CollapsesRuns) {
+  EXPECT_TRUE(MaskToSpans({}).empty());
+  EXPECT_TRUE(MaskToSpans({0, 0, 0}).empty());
+
+  std::vector<RationaleSpan> spans = MaskToSpans({1, 1, 0, 1, 0, 0, 1});
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_TRUE((spans[0] == RationaleSpan{0, 2}));
+  EXPECT_TRUE((spans[1] == RationaleSpan{3, 4}));
+  EXPECT_TRUE((spans[2] == RationaleSpan{6, 7}));
+
+  spans = MaskToSpans({1, 1, 1});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE((spans[0] == RationaleSpan{0, 3}));
+}
+
+TEST(InferenceSessionTest, PredictReturnsConsistentFields) {
+  auto session = MakeSession();
+  InferenceResult r = session->Predict("the beer looks great great great");
+  EXPECT_GE(r.label, 0);
+  EXPECT_LT(r.label, 2);
+  EXPECT_GT(r.confidence, 0.0f);
+  EXPECT_LE(r.confidence, 1.0f);
+  ASSERT_EQ(r.probs.size(), 2u);
+  EXPECT_NEAR(r.probs[0] + r.probs[1], 1.0f, 1e-5f);
+  EXPECT_EQ(r.tokens.size(), 6u);
+  EXPECT_EQ(r.mask.size(), 6u);
+  // Spans and rationale text are consistent with the mask.
+  size_t selected = 0;
+  for (uint8_t m : r.mask) selected += m;
+  size_t span_tokens = 0;
+  for (const RationaleSpan& s : r.spans) {
+    span_tokens += static_cast<size_t>(s.end - s.begin);
+  }
+  EXPECT_EQ(selected, span_tokens);
+}
+
+TEST(InferenceSessionTest, EmptyTextServable) {
+  auto session = MakeSession();
+  InferenceResult r = session->Predict("");
+  EXPECT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0], "<unk>");
+}
+
+TEST(InferenceSessionTest, OutOfVocabularyMapsToUnk) {
+  auto session = MakeSession();
+  InferenceResult r = session->Predict("zzzzqqqq_not_a_word");
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0], "<unk>");
+}
+
+TEST(InferenceSessionTest, PredictIsDeterministic) {
+  auto session = MakeSession();
+  std::string text = "smells of citrus and pine with a thin head";
+  InferenceResult a = session->Predict(text);
+  InferenceResult b = session->Predict(text);
+  ExpectSameResult(a, b);
+}
+
+TEST(InferenceSessionTest, BatchedForwardMatchesSingleRequests) {
+  datasets::SyntheticDataset dataset = TinyDataset();
+  auto session = MakeSession();
+  std::vector<std::string> texts = SampleTexts(dataset, 17);
+  std::vector<InferenceResult> batched = session->PredictBatch(texts);
+  ASSERT_EQ(batched.size(), texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    InferenceResult single = session->Predict(texts[i]);
+    ExpectSameResult(batched[i], single);
+  }
+}
+
+TEST(InferenceSessionTest, FromCheckpointRestoresExactModel) {
+  datasets::SyntheticDataset dataset = TinyDataset();
+  core::TrainConfig config = TinyConfig();
+  Tensor embeddings = eval::BuildEmbeddings(dataset, config);
+
+  auto trained = std::make_unique<core::DarModel>(embeddings, config);
+  std::string path = ::testing::TempDir() + "/serve_session_test.ckpt";
+  ASSERT_TRUE(core::SaveRationalizer(*trained, path));
+
+  config.seed = 1234;  // fresh model starts from different random weights
+  auto fresh = std::make_unique<core::DarModel>(embeddings, config);
+  std::string error;
+  auto restored = InferenceSession::FromCheckpoint(
+      std::move(fresh), dataset.vocab, path, &error);
+  ASSERT_NE(restored, nullptr) << error;
+
+  InferenceSession original(std::move(trained), dataset.vocab);
+  for (const std::string& text : SampleTexts(dataset, 5)) {
+    ExpectSameResult(original.Predict(text), restored->Predict(text));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(InferenceSessionTest, FromCheckpointRejectsMissingFile) {
+  datasets::SyntheticDataset dataset = TinyDataset();
+  core::TrainConfig config = TinyConfig();
+  auto model = std::make_unique<core::RnpModel>(
+      eval::BuildEmbeddings(dataset, config), config);
+  std::string error;
+  auto session = InferenceSession::FromCheckpoint(
+      std::move(model), dataset.vocab, "/nonexistent/model.ckpt", &error);
+  EXPECT_EQ(session, nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(MicroBatcherTest, BatchedResultsEqualSingleRequestPath) {
+  datasets::SyntheticDataset dataset = TinyDataset();
+  auto session = MakeSession();
+  std::vector<std::string> texts = SampleTexts(dataset, 40);
+
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 500;
+  config.num_workers = 2;
+  MicroBatcher batcher(*session, config);
+
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(texts.size());
+  for (const std::string& text : texts) futures.push_back(batcher.Submit(text));
+  for (size_t i = 0; i < texts.size(); ++i) {
+    InferenceResult batched = futures[i].get();
+    InferenceResult single = session->Predict(texts[i]);
+    ExpectSameResult(batched, single);
+  }
+}
+
+TEST(MicroBatcherTest, ConcurrentProducersAllResolve) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 30;
+  datasets::SyntheticDataset dataset = TinyDataset();
+  auto session = MakeSession();
+  std::vector<std::string> texts =
+      SampleTexts(dataset, kProducers * kPerProducer);
+
+  BatcherConfig config;
+  config.max_batch = 16;
+  config.max_wait_us = 200;
+  config.num_workers = 3;
+  std::atomic<int> resolved{0};
+  {
+    MicroBatcher batcher(*session, config);
+    std::vector<std::thread> producers;
+    std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          futures[static_cast<size_t>(p)].push_back(
+              batcher.Submit(texts[static_cast<size_t>(p * kPerProducer + i)]));
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    for (int p = 0; p < kProducers; ++p) {
+      for (int i = 0; i < kPerProducer; ++i) {
+        InferenceResult batched = futures[static_cast<size_t>(p)]
+                                      [static_cast<size_t>(i)].get();
+        InferenceResult single =
+            session->Predict(texts[static_cast<size_t>(p * kPerProducer + i)]);
+        ExpectSameResult(batched, single);
+        ++resolved;
+      }
+    }
+  }
+  EXPECT_EQ(resolved.load(), kProducers * kPerProducer);
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsQueue) {
+  auto session = MakeSession();
+  BatcherConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 50;
+  config.num_workers = 1;
+  std::vector<std::future<InferenceResult>> futures;
+  {
+    MicroBatcher batcher(*session, config);
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(batcher.Submit("a beer with some hops"));
+    }
+    // Destructor shuts down; every future must still resolve.
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(MicroBatcherTest, CoalescesUnderConcurrentLoad) {
+  auto session = MakeSession();
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 2000;
+  config.num_workers = 1;
+  {
+    MicroBatcher batcher(*session, config);
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(batcher.Submit("crisp golden lager"));
+    }
+    for (auto& f : futures) f.get();
+  }
+  StatsSnapshot snapshot = session->stats().Snapshot();
+  EXPECT_EQ(snapshot.requests, 32);
+  // With one worker and a linger window, requests must have been coalesced
+  // into far fewer forwards than requests.
+  EXPECT_LT(snapshot.batches, 32);
+  EXPECT_GT(snapshot.mean_batch_size, 1.0);
+}
+
+TEST(MicroBatcherTest, BoundedQueueStillServesEverything) {
+  datasets::SyntheticDataset dataset = TinyDataset();
+  auto session = MakeSession();
+  std::vector<std::string> texts = SampleTexts(dataset, 48);
+
+  BatcherConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 100;
+  config.num_workers = 1;
+  config.max_queue = 6;  // far fewer slots than in-flight submissions
+  MicroBatcher batcher(*session, config);
+
+  constexpr int kProducers = 3;
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < texts.size();
+           i += kProducers) {
+        futures[static_cast<size_t>(p)].push_back(batcher.Submit(texts[i]));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  // Backpressure may block submitters but must never drop or corrupt a
+  // request: every future resolves to the single-request result.
+  for (int p = 0; p < kProducers; ++p) {
+    size_t slot = 0;
+    for (size_t i = static_cast<size_t>(p); i < texts.size();
+         i += kProducers, ++slot) {
+      InferenceResult batched = futures[static_cast<size_t>(p)][slot].get();
+      ExpectSameResult(batched, session->Predict(texts[i]));
+    }
+  }
+}
+
+TEST(ServingStatsTest, SnapshotAggregates) {
+  ServingStats stats;
+  stats.RecordBatch(1);
+  stats.RecordBatch(3);
+  stats.RecordBatch(4);
+  for (int64_t us : {100, 200, 300, 400, 500, 600, 700, 800}) {
+    stats.RecordLatencyUs(us);
+  }
+  StatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.requests, 8);
+  EXPECT_EQ(snapshot.batches, 3);
+  EXPECT_DOUBLE_EQ(snapshot.mean_batch_size, 8.0 / 3.0);
+  EXPECT_EQ(snapshot.batch_size_histogram.at(1), 1);
+  EXPECT_EQ(snapshot.batch_size_histogram.at(3), 1);
+  EXPECT_EQ(snapshot.batch_size_histogram.at(4), 1);
+  EXPECT_EQ(snapshot.latency_p50_us, 400);
+  EXPECT_EQ(snapshot.latency_p95_us, 800);
+  EXPECT_EQ(snapshot.latency_p99_us, 800);
+  EXPECT_EQ(snapshot.latency_max_us, 800);
+  EXPECT_FALSE(snapshot.ToString().empty());
+
+  stats.Reset();
+  snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.requests, 0);
+  EXPECT_EQ(snapshot.latency_p99_us, 0);
+}
+
+TEST(ModelRegistryTest, RoutesByName) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.Contains("beer"));
+  EXPECT_EQ(registry.Predict("beer", "some text"), std::nullopt);
+
+  std::shared_ptr<InferenceSession> beer = MakeSession(3);
+  std::shared_ptr<InferenceSession> hotel = MakeSession(7);
+  registry.Register("beer", beer);
+  registry.Register("hotel", hotel);
+
+  std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "beer");
+  EXPECT_EQ(names[1], "hotel");
+  EXPECT_EQ(registry.Get("beer"), beer);
+
+  // Routing reaches the right model: each session records its own stats.
+  ASSERT_TRUE(registry.Predict("beer", "pours a hazy amber").has_value());
+  EXPECT_EQ(beer->stats().Snapshot().requests, 1);
+  EXPECT_EQ(hotel->stats().Snapshot().requests, 0);
+
+  EXPECT_TRUE(registry.Unregister("hotel"));
+  EXPECT_FALSE(registry.Unregister("hotel"));
+  EXPECT_FALSE(registry.Contains("hotel"));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100);
+    // Pool is reusable after Wait.
+    pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 101);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dar
