@@ -60,6 +60,11 @@ void Variable::ZeroGrad() {
   }
 }
 
+void Variable::AccumulateGrad(const Tensor& g) {
+  DAR_CHECK(defined());
+  node_->AccumulateGrad(g);
+}
+
 bool Variable::requires_grad() const { return defined() && node_->requires_grad; }
 
 void Variable::set_requires_grad(bool requires_grad) {

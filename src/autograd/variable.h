@@ -9,6 +9,18 @@
 // Graphs are built per forward pass and released when the last Variable
 // handle goes out of scope, mirroring the define-by-run style of the
 // training loops in the paper's reference implementation.
+//
+// Thread compatibility (the data-parallel training contract): the engine
+// keeps NO global or thread-local state — every tape is exactly the Node
+// graph reachable from the Variables a thread created, and Backward() walks
+// only that graph. Concurrent forward/backward passes are therefore safe
+// whenever the graphs are disjoint, i.e. the threads share no Variable
+// handles. The per-thread replicas of core::DataParallelTrainer satisfy
+// this by construction: each replica owns its parameters, so its tape never
+// reaches another thread's nodes. What is NOT safe is two threads running
+// Backward() into the *same* leaf concurrently (AccumulateGrad is not
+// atomic) — reductions across threads must serialize, as the trainer's
+// gradient reduce does.
 #ifndef DAR_AUTOGRAD_VARIABLE_H_
 #define DAR_AUTOGRAD_VARIABLE_H_
 
@@ -80,6 +92,11 @@ class Variable {
 
   /// Clears the gradient buffer (kept allocated) ahead of the next backward.
   void ZeroGrad();
+
+  /// Accumulates `g` (same shape as the value) into this node's gradient,
+  /// exactly as backpropagation would. Data-parallel training reduces
+  /// per-replica gradients into the master parameters through this.
+  void AccumulateGrad(const Tensor& g);
 
   bool requires_grad() const;
 

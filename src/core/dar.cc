@@ -58,6 +58,13 @@ std::vector<ag::Variable> DarModel::TrainableParameters() const {
   return params;
 }
 
+std::unique_ptr<RationalizerBase> DarModel::CloneArchitecture() const {
+  // The clone is never Prepare()d: the master pretrains predictor^t once and
+  // MirrorFrom copies the frozen result (values + requires_grad) into every
+  // replica, so replicas skip eq. 4 entirely.
+  return std::make_unique<DarModel>(embeddings(), config(), options_);
+}
+
 void DarModel::SetTraining(bool training) {
   RationalizerBase::SetTraining(training);
   // The frozen discriminator always runs in eval mode.

@@ -41,6 +41,7 @@ class DarModel : public RationalizerBase {
   ag::Variable TrainLoss(const data::Batch& batch) override;
 
   std::vector<ag::Variable> TrainableParameters() const override;
+  std::unique_ptr<RationalizerBase> CloneArchitecture() const override;
   void SetTraining(bool training) override;
   int64_t NumModules() const override { return 3; }  // 1 gen + 2 pred
   int64_t TotalParameters() const override;

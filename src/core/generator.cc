@@ -36,6 +36,13 @@ nn::GumbelMask Generator::SampleMask(const data::Batch& batch,
                               rng);
 }
 
+nn::GumbelMask Generator::SampleMaskWithNoise(const data::Batch& batch,
+                                              const Tensor& noise) const {
+  ag::Variable logits = SelectionLogits(batch);
+  return nn::SampleBinaryMaskWithNoise(logits, batch.valid, config_.tau,
+                                       training(), noise);
+}
+
 Tensor Generator::DeterministicMask(const data::Batch& batch) const {
   ag::Variable logits = SelectionLogits(batch);
   // sigmoid(l / tau) > 0.5  <=>  l > 0; gated by validity.

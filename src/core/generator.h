@@ -32,6 +32,12 @@ class Generator : public nn::Module {
   /// the deterministic mask in eval mode.
   nn::GumbelMask SampleMask(const data::Batch& batch, Pcg32& rng) const;
 
+  /// SampleMask with caller-supplied Gumbel noise [B, T] instead of RNG
+  /// draws. The data-parallel trainer uses this to feed each shard replica
+  /// its slice of the master-drawn batch noise (see nn::DrawBinaryMaskNoise).
+  nn::GumbelMask SampleMaskWithNoise(const data::Batch& batch,
+                                     const Tensor& noise) const;
+
   /// Deterministic hard mask values (eval mode), [B, T].
   Tensor DeterministicMask(const data::Batch& batch) const;
 

@@ -1,0 +1,292 @@
+#include "core/parallel_trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "data/dataloader.h"
+#include "nn/gumbel.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "tensor/check.h"
+
+namespace dar {
+namespace core {
+
+namespace {
+
+/// Snapshot/restore of parameter values for best-epoch selection (same
+/// protocol as the sequential Fit in trainer.cc).
+std::vector<Tensor> SnapshotValues(const std::vector<ag::Variable>& params) {
+  std::vector<Tensor> values;
+  values.reserve(params.size());
+  for (const ag::Variable& p : params) values.push_back(p.value());
+  return values;
+}
+
+void RestoreValues(std::vector<ag::Variable>& params,
+                   const std::vector<Tensor>& values) {
+  DAR_CHECK_EQ(params.size(), values.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = values[i];
+  }
+}
+
+/// Extracts the given rows of a [B, T] tensor into a [rows, T] tensor.
+Tensor SelectRows(const Tensor& full, const std::vector<int64_t>& rows) {
+  DAR_CHECK_EQ(full.dim(), 2);
+  const int64_t t = full.size(1);
+  Tensor out(Shape{static_cast<int64_t>(rows.size()), t});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    DAR_CHECK(rows[i] >= 0 && rows[i] < full.size(0));
+    std::memcpy(out.data() + static_cast<int64_t>(i) * t,
+                full.data() + rows[i] * t, sizeof(float) * t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> ShardRowSets(int64_t batch_size,
+                                               int64_t num_shards,
+                                               ShardPolicy policy) {
+  DAR_CHECK_GT(batch_size, 0);
+  const int64_t shards = std::max<int64_t>(1, std::min(num_shards, batch_size));
+  std::vector<std::vector<int64_t>> row_sets(shards);
+  switch (policy) {
+    case ShardPolicy::kContiguous: {
+      const int64_t base = batch_size / shards;
+      const int64_t rem = batch_size % shards;
+      int64_t next = 0;
+      for (int64_t s = 0; s < shards; ++s) {
+        const int64_t count = base + (s < rem ? 1 : 0);
+        row_sets[s].reserve(count);
+        for (int64_t i = 0; i < count; ++i) row_sets[s].push_back(next++);
+      }
+      DAR_CHECK_EQ(next, batch_size);
+      break;
+    }
+    case ShardPolicy::kStrided: {
+      for (int64_t r = 0; r < batch_size; ++r) {
+        row_sets[r % shards].push_back(r);
+      }
+      break;
+    }
+  }
+  return row_sets;
+}
+
+uint64_t ParameterChecksum(RationalizerBase& model) {
+  // FNV-1a over the 32-bit patterns of every parameter element, in the
+  // stable CheckpointModules / Parameters order.
+  uint64_t h = 1469598103934665603ull;
+  for (const nn::NamedModule& named : model.CheckpointModules()) {
+    for (const nn::NamedParameter& p : named.module->Parameters()) {
+      const Tensor& v = p.variable.value();
+      const float* data = v.data();
+      const int64_t n = v.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        uint32_t bits;
+        std::memcpy(&bits, &data[i], sizeof(bits));
+        h ^= static_cast<uint64_t>(bits);
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return h;
+}
+
+DataParallelTrainer::DataParallelTrainer(RationalizerBase& master,
+                                         ParallelTrainConfig config)
+    : master_(master), config_(config) {
+  config_.num_workers = std::max(1, config_.num_workers);
+  DAR_CHECK_GE(config_.num_shards, 0);
+}
+
+void DataParallelTrainer::EnsureReplicas() {
+  if (!replicas_.empty()) return;
+  num_shards_ =
+      config_.num_shards > 0 ? config_.num_shards : config_.num_workers;
+  master_params_ = master_.TrainableParameters();
+  replicas_.reserve(num_shards_);
+  replica_params_.reserve(num_shards_);
+  for (int64_t s = 0; s < num_shards_; ++s) {
+    std::unique_ptr<RationalizerBase> replica = master_.CloneArchitecture();
+    DAR_CHECK_MSG(replica != nullptr,
+                  "DataParallelTrainer: the model does not implement "
+                  "CloneArchitecture() and cannot be trained data-parallel");
+    replica->MirrorFrom(master_);
+    replica_params_.push_back(replica->TrainableParameters());
+    DAR_CHECK_EQ(replica_params_.back().size(), master_params_.size());
+    replicas_.push_back(std::move(replica));
+  }
+  pool_ = std::make_unique<serve::ThreadPool>(config_.num_workers);
+}
+
+void DataParallelTrainer::SetReplicasTraining(bool training) {
+  for (std::unique_ptr<RationalizerBase>& replica : replicas_) {
+    replica->SetTraining(training);
+  }
+}
+
+void DataParallelTrainer::AccumulateReplicaGradients(int64_t s) {
+  std::vector<ag::Variable>& rep = replica_params_[s];
+  for (size_t j = 0; j < master_params_.size(); ++j) {
+    if (rep[j].has_grad()) master_params_[j].AccumulateGrad(rep[j].grad());
+  }
+}
+
+float DataParallelTrainer::ReduceGradientsForBatch(const data::Batch& batch) {
+  EnsureReplicas();
+  const int64_t b = batch.batch_size();
+  DAR_CHECK_GT(b, 0);
+  const std::vector<std::vector<int64_t>> row_sets =
+      ShardRowSets(b, num_shards_, config_.shard_policy);
+  const int64_t shards = static_cast<int64_t>(row_sets.size());
+
+  // Draw the whole batch's Gumbel noise from the master RNG up front — in
+  // exactly the flat order the sequential loop would consume it — and hand
+  // each shard its row slice. This keeps the parallel run on the sequential
+  // RNG sequence and makes replica execution deterministic no matter which
+  // worker thread picks up which shard.
+  const bool training = master_.generator().training();
+  const Tensor noise =
+      training ? nn::DrawBinaryMaskNoise(Shape{b, batch.max_len()},
+                                         master_.rng())
+               : Tensor();
+
+  for (ag::Variable& p : master_params_) p.ZeroGrad();
+
+  std::vector<double> shard_loss(shards, 0.0);
+  std::mutex reduce_mu;
+  const bool deterministic = config_.deterministic_reduce;
+  for (int64_t s = 0; s < shards; ++s) {
+    pool_->Submit([this, s, b, training, deterministic, &row_sets, &batch,
+                   &noise, &shard_loss, &reduce_mu] {
+      RationalizerBase& replica = *replicas_[s];
+      const std::vector<int64_t>& rows = row_sets[s];
+      const data::Batch shard = data::SelectBatchRows(batch, rows);
+      // Seeding the backward with |shard| / |batch| makes the reduced sum
+      // the gradient of the per-example-mean batch loss.
+      const float weight =
+          static_cast<float>(rows.size()) / static_cast<float>(b);
+      for (ag::Variable& p : replica_params_[s]) p.ZeroGrad();
+      Tensor shard_noise;
+      if (training) {
+        shard_noise = SelectRows(noise, rows);
+        replica.set_injected_mask_noise(&shard_noise);
+      }
+      ag::Variable loss = replica.TrainLoss(shard);
+      replica.set_injected_mask_noise(nullptr);
+      loss.Backward(Tensor(loss.value().shape(), weight));
+      shard_loss[s] = static_cast<double>(weight) *
+                      static_cast<double>(loss.value().item());
+      if (!deterministic) {
+        // Completion-order reduce: lower latency, float summation order
+        // varies run to run. The mutex serializes AccumulateGrad calls into
+        // the shared master leaves (see autograd/variable.h).
+        std::lock_guard<std::mutex> lock(reduce_mu);
+        AccumulateReplicaGradients(s);
+      }
+    });
+  }
+  pool_->Wait();
+  if (deterministic) {
+    // Barrier above, then fixed shard-order reduce: the summation tree is a
+    // function of (num_shards, shard_policy) only, never of thread timing.
+    for (int64_t s = 0; s < shards; ++s) AccumulateReplicaGradients(s);
+  }
+
+  double total = 0.0;
+  for (int64_t s = 0; s < shards; ++s) total += shard_loss[s];
+  return static_cast<float>(total);
+}
+
+void DataParallelTrainer::BroadcastParameters() {
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    std::vector<ag::Variable>& rep = replica_params_[s];
+    for (size_t j = 0; j < master_params_.size(); ++j) {
+      rep[j].mutable_value() = master_params_[j].value();
+    }
+  }
+}
+
+int64_t DataParallelTrainer::num_replicas() {
+  EnsureReplicas();
+  return static_cast<int64_t>(replicas_.size());
+}
+
+uint64_t DataParallelTrainer::ReplicaChecksum(int64_t i) {
+  EnsureReplicas();
+  DAR_CHECK(i >= 0 && i < static_cast<int64_t>(replicas_.size()));
+  return ParameterChecksum(*replicas_[i]);
+}
+
+TrainRun DataParallelTrainer::Fit(const datasets::SyntheticDataset& dataset,
+                                  bool verbose) {
+  const TrainConfig& config = master_.config();
+  master_.Prepare(dataset);
+  // Replicas must mirror the post-Prepare() state (DAR pretrains and
+  // freezes its discriminator there), so rebuild any that were created
+  // earlier, e.g. by an introspection call.
+  replicas_.clear();
+  replica_params_.clear();
+  master_params_.clear();
+  pool_.reset();
+  EnsureReplicas();
+
+  optim::Adam adam(master_params_, {.lr = config.lr});
+  data::DataLoader train_loader(dataset.train, config.batch_size,
+                                /*shuffle=*/true);
+
+  TrainRun run;
+  std::vector<Tensor> best_values;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    master_.SetTraining(true);
+    SetReplicasTraining(true);
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (const data::Batch& batch : train_loader.Epoch(master_.rng())) {
+      const float batch_loss = ReduceGradientsForBatch(batch);
+      optim::ClipGradNorm(master_params_, config.grad_clip);
+      adam.Step();
+      BroadcastParameters();
+      ++step_;
+      if (post_step_hook_) post_step_hook_(step_);
+      loss_sum += static_cast<double>(batch_loss);
+      ++batches;
+    }
+
+    master_.SetTraining(false);
+    float dev_acc =
+        EvaluateRationaleAccuracy(master_, dataset.dev, config.batch_size);
+    EpochStats stats;
+    stats.train_loss =
+        static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
+    stats.dev_acc = dev_acc;
+    run.epochs.push_back(stats);
+    // Same tie-break as the sequential Fit: >= keeps later epochs.
+    if (dev_acc >= run.best_dev_acc || run.best_epoch < 0) {
+      run.best_dev_acc = dev_acc;
+      run.best_epoch = epoch;
+      best_values = SnapshotValues(master_params_);
+    }
+    if (verbose) {
+      std::printf("  [%s x%lld] epoch %2lld  loss %.4f  dev_acc %.3f\n",
+                  master_.name().c_str(),
+                  static_cast<long long>(num_shards_),
+                  static_cast<long long>(epoch), stats.train_loss, dev_acc);
+      std::fflush(stdout);
+    }
+  }
+  if (!best_values.empty()) RestoreValues(master_params_, best_values);
+  master_.SetTraining(false);
+  BroadcastParameters();
+  SetReplicasTraining(false);
+  return run;
+}
+
+}  // namespace core
+}  // namespace dar

@@ -1,0 +1,115 @@
+// Data-parallel training engine: shard → replica → reduce → step.
+//
+// DataParallelTrainer runs the rationalization game of core/trainer.h with
+// each minibatch sharded across a serve::ThreadPool. Every shard is
+// processed on a full architecture replica of the master model
+// (CloneArchitecture + MirrorFrom), its backward pass seeded with
+// shard_size / batch_size, and the per-replica gradients are reduced into
+// the master parameters before a single optimizer step; the master values
+// are then broadcast back to the replicas. Because the training losses in
+// this repository are per-example means, the reduced gradient equals the
+// sequential full-batch gradient exactly in real arithmetic, and up to
+// float summation order in practice (bit-exactly for num_shards == 1).
+// tests/parallel_trainer_test.cc is the equivalence harness certifying
+// this.
+//
+// Determinism: Gumbel mask noise is drawn once per minibatch from the
+// master RNG (in the order the sequential loop would draw it) and sliced
+// per shard, so replicas consume no RNG of their own; with
+// deterministic_reduce the reduction order is the shard order. Both
+// together make a run a pure function of (seed, num_shards, shard_policy)
+// — the worker count never changes a single bit. The only stochastic
+// forward pass outside this scheme is Transformer dropout, which draws
+// from per-replica RNGs: bit-reproducibility claims require dropout-free
+// configs (the BiGRU setting, or transformer.dropout == 0).
+#ifndef DAR_CORE_PARALLEL_TRAINER_H_
+#define DAR_CORE_PARALLEL_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rationalizer.h"
+#include "core/trainer.h"
+#include "serve/thread_pool.h"
+
+namespace dar {
+namespace core {
+
+/// Row index sets of each shard for a batch of `batch_size` rows. The shard
+/// count is clamped to [1, batch_size] so no shard is empty (a dropped —
+/// empty — shard would starve parameters of gradients, which the optimizer
+/// now rejects).
+std::vector<std::vector<int64_t>> ShardRowSets(int64_t batch_size,
+                                               int64_t num_shards,
+                                               ShardPolicy policy);
+
+/// FNV-1a hash of every parameter value (bit pattern) of every checkpoint
+/// module. Replica-divergence checks compare these across replicas.
+uint64_t ParameterChecksum(RationalizerBase& model);
+
+/// The engine behind Fit(model, dataset, ParallelTrainConfig). Exposed so
+/// tests and benches can drive single reduce cycles and inspect replicas.
+class DataParallelTrainer {
+ public:
+  /// `master` must outlive the trainer. Replicas are created lazily (after
+  /// the master's Prepare() inside Fit(), or on first use otherwise) so
+  /// they mirror the master's post-pretraining state.
+  DataParallelTrainer(RationalizerBase& master, ParallelTrainConfig config);
+
+  /// The sequential Fit() protocol (Prepare, Adam, clipping, best-epoch
+  /// snapshot restore) with sharded per-batch gradients.
+  TrainRun Fit(const datasets::SyntheticDataset& dataset,
+               bool verbose = false);
+
+  /// One shard → replica → reduce cycle: zeroes the master gradients, runs
+  /// per-shard forward/backward on the replicas, reduces into the master
+  /// parameters, and returns the batch training loss (per-example mean).
+  /// Does NOT step an optimizer. The master (and hence the replicas) should
+  /// be in training mode. Callers using this directly on a method with a
+  /// Prepare() step (DAR) must run Prepare() first.
+  float ReduceGradientsForBatch(const data::Batch& batch);
+
+  /// Copies the master parameter values into every replica. Fit() calls
+  /// this after each optimizer step.
+  void BroadcastParameters();
+
+  /// Number of replicas (== effective shard count). Creates them if needed.
+  int64_t num_replicas();
+
+  /// Parameter checksum of replica `i` / of the master, for divergence
+  /// tests.
+  uint64_t ReplicaChecksum(int64_t i);
+  uint64_t MasterChecksum() { return ParameterChecksum(master_); }
+
+  /// Invoked after every optimizer step + broadcast with the global step
+  /// index (1-based). The stress suite asserts replica/master checksum
+  /// equality here.
+  void set_post_step_hook(std::function<void(int64_t)> hook) {
+    post_step_hook_ = std::move(hook);
+  }
+
+  const ParallelTrainConfig& config() const { return config_; }
+
+ private:
+  void EnsureReplicas();
+  void SetReplicasTraining(bool training);
+  /// Adds replica `s`'s trainable gradients into the master's.
+  void AccumulateReplicaGradients(int64_t s);
+
+  RationalizerBase& master_;
+  ParallelTrainConfig config_;
+  int64_t num_shards_ = 0;  // resolved from config in EnsureReplicas
+  std::vector<std::unique_ptr<RationalizerBase>> replicas_;
+  std::vector<ag::Variable> master_params_;
+  std::vector<std::vector<ag::Variable>> replica_params_;
+  std::unique_ptr<serve::ThreadPool> pool_;
+  std::function<void(int64_t)> post_step_hook_;
+  int64_t step_ = 0;
+};
+
+}  // namespace core
+}  // namespace dar
+
+#endif  // DAR_CORE_PARALLEL_TRAINER_H_

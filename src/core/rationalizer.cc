@@ -71,10 +71,27 @@ std::vector<nn::NamedModule> RationalizerBase::CheckpointModules() {
   return {{"generator", &generator_}, {"predictor", &predictor_}};
 }
 
+std::unique_ptr<RationalizerBase> RationalizerBase::CloneArchitecture() const {
+  return nullptr;
+}
+
+void RationalizerBase::MirrorFrom(RationalizerBase& other) {
+  std::vector<nn::NamedModule> mine = CheckpointModules();
+  std::vector<nn::NamedModule> theirs = other.CheckpointModules();
+  DAR_CHECK_MSG(mine.size() == theirs.size(),
+                "MirrorFrom: module count mismatch (different architectures?)");
+  for (size_t i = 0; i < mine.size(); ++i) {
+    mine[i].module->CopyStateFrom(*theirs[i].module);
+  }
+}
+
 ag::Variable RationalizerBase::RnpCoreLoss(const data::Batch& batch,
                                            nn::GumbelMask* mask_out,
                                            ag::Variable* logits_out) {
-  nn::GumbelMask mask = generator_.SampleMask(batch, rng_);
+  nn::GumbelMask mask =
+      injected_mask_noise_ != nullptr
+          ? generator_.SampleMaskWithNoise(batch, *injected_mask_noise_)
+          : generator_.SampleMask(batch, rng_);
   ag::Variable logits = predictor_.Forward(batch, mask.hard);
   ag::Variable ce = nn::CrossEntropy(logits, batch.labels);
   ag::Variable omega = SparsityCoherencePenalty(mask, batch.valid, config_);

@@ -3,6 +3,7 @@
 #ifndef DAR_CORE_RATIONALIZER_H_
 #define DAR_CORE_RATIONALIZER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,9 +77,34 @@ class RationalizerBase {
 
   /// Modules included in a saved model, in a stable order. Subclasses with
   /// auxiliary players that ship with the deployed model (DAR's frozen
-  /// discriminator) extend this. Used by Save/LoadRationalizer and the
-  /// serving layer's checkpoint restore.
+  /// discriminator) extend this. Used by Save/LoadRationalizer, the serving
+  /// layer's checkpoint restore, and replica mirroring (MirrorFrom).
   virtual std::vector<nn::NamedModule> CheckpointModules();
+
+  /// Constructs an architecturally identical, freshly initialized model of
+  /// the same method (same embeddings, config, and options — Prepare() is
+  /// NOT run on the copy). The data-parallel trainer builds per-thread
+  /// replicas this way and then MirrorFrom()s the trained master state in.
+  /// Default: nullptr — the method does not support data-parallel training.
+  virtual std::unique_ptr<RationalizerBase> CloneArchitecture() const;
+
+  /// Copies `other`'s full parameter state into this model: values and
+  /// per-parameter requires_grad flags of every checkpoint module (so a
+  /// master's pretrained-and-frozen modules stay frozen in the replica).
+  /// Architectures must match (e.g. this = other->CloneArchitecture()).
+  void MirrorFrom(RationalizerBase& other);
+
+  /// When non-null, RnpCoreLoss perturbs the selection logits with this
+  /// [B, T] tensor instead of drawing Gumbel noise from rng(). The
+  /// data-parallel trainer draws one noise tensor per minibatch from the
+  /// master RNG and injects each replica's row slice, which keeps the
+  /// sharded run on exactly the sequential run's noise sequence (and keeps
+  /// replicas deterministic regardless of shard→thread assignment). The
+  /// pointee must outlive the TrainLoss call; pass nullptr to restore
+  /// normal RNG sampling.
+  void set_injected_mask_noise(const Tensor* noise) {
+    injected_mask_noise_ = noise;
+  }
 
   Generator& generator() { return generator_; }
   Predictor& predictor() { return predictor_; }
@@ -104,6 +130,7 @@ class RationalizerBase {
   Pcg32 rng_;
   Generator generator_;
   Predictor predictor_;
+  const Tensor* injected_mask_noise_ = nullptr;
 };
 
 /// Saves every module of a trained model (CheckpointModules) as one

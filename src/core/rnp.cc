@@ -12,5 +12,9 @@ ag::Variable RnpModel::TrainLoss(const data::Batch& batch) {
   return RnpCoreLoss(batch, /*mask_out=*/nullptr);
 }
 
+std::unique_ptr<RationalizerBase> RnpModel::CloneArchitecture() const {
+  return std::make_unique<RnpModel>(embeddings(), config());
+}
+
 }  // namespace core
 }  // namespace dar

@@ -18,6 +18,8 @@ class RnpModel : public RationalizerBase {
   RnpModel(Tensor embeddings, TrainConfig config);
 
   ag::Variable TrainLoss(const data::Batch& batch) override;
+
+  std::unique_ptr<RationalizerBase> CloneArchitecture() const override;
 };
 
 }  // namespace core

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
+#include "core/parallel_trainer.h"
 #include "data/dataloader.h"
 #include "nn/loss.h"
 #include "optim/adam.h"
 #include "optim/clip.h"
+#include "serve/thread_pool.h"
 #include "tensor/check.h"
 #include "tensor/tensor_ops.h"
 
@@ -85,6 +89,12 @@ TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
   return run;
 }
 
+TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
+             const ParallelTrainConfig& parallel, bool verbose) {
+  DataParallelTrainer trainer(model, parallel);
+  return trainer.Fit(dataset, verbose);
+}
+
 float FitPredictorWithMask(Predictor& predictor,
                            const datasets::SyntheticDataset& dataset,
                            int64_t epochs, int64_t batch_size, float lr,
@@ -129,6 +139,110 @@ float FitFullTextPredictor(Predictor& predictor,
                            Pcg32& rng) {
   return FitPredictorWithMask(predictor, dataset, epochs, batch_size, lr, rng,
                               /*mask_fn=*/nullptr, /*mask_ctx=*/nullptr);
+}
+
+float FitPredictorWithMaskParallel(Predictor& predictor,
+                                   const Tensor& embeddings,
+                                   const TrainConfig& config,
+                                   const datasets::SyntheticDataset& dataset,
+                                   int64_t epochs, int64_t batch_size, float lr,
+                                   Pcg32& rng,
+                                   const ParallelTrainConfig& parallel,
+                                   MaskFn mask_fn, const void* mask_ctx) {
+  const int num_workers = std::max(1, parallel.num_workers);
+  const int64_t num_shards =
+      parallel.num_shards > 0 ? parallel.num_shards : num_workers;
+
+  // Replica predictors: architecture from (embeddings, config), state
+  // mirrored from the master. The init RNG only feeds initial weights that
+  // CopyStateFrom immediately overwrites.
+  std::vector<std::unique_ptr<Predictor>> replicas;
+  Pcg32 init_rng(config.seed);
+  replicas.reserve(num_shards);
+  for (int64_t s = 0; s < num_shards; ++s) {
+    replicas.push_back(
+        std::make_unique<Predictor>(embeddings, config, init_rng));
+    replicas.back()->CopyStateFrom(predictor);
+  }
+
+  std::vector<ag::Variable> params;
+  for (const nn::NamedParameter& p : predictor.Parameters()) {
+    if (p.variable.requires_grad()) params.push_back(p.variable);
+  }
+  optim::Adam adam(params, {.lr = lr});
+  data::DataLoader train_loader(dataset.train, batch_size, /*shuffle=*/true);
+  data::DataLoader dev_loader(dataset.dev, batch_size, /*shuffle=*/false);
+  serve::ThreadPool pool(num_workers);
+  std::mutex reduce_mu;
+
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    predictor.SetTraining(true);
+    for (std::unique_ptr<Predictor>& replica : replicas) {
+      replica->SetTraining(true);
+    }
+    for (const data::Batch& batch : train_loader.Epoch(rng)) {
+      adam.ZeroGrad();
+      const int64_t b = batch.batch_size();
+      const std::vector<std::vector<int64_t>> row_sets =
+          ShardRowSets(b, num_shards, parallel.shard_policy);
+      for (size_t s = 0; s < row_sets.size(); ++s) {
+        pool.Submit([&, s] {
+          Predictor& replica = *replicas[s];
+          replica.ZeroGrad();
+          const data::Batch shard = data::SelectBatchRows(batch, row_sets[s]);
+          const float weight = static_cast<float>(row_sets[s].size()) /
+                               static_cast<float>(b);
+          // mask_fn is evaluated on the shard sub-batch; all built-in mask
+          // policies are row-wise, so this equals slicing the full mask.
+          Tensor mask = mask_fn ? mask_fn(shard, mask_ctx) : shard.valid;
+          ag::Variable logits = replica.ForwardWithConstMask(shard, mask);
+          ag::Variable loss = nn::CrossEntropy(logits, shard.labels);
+          loss.Backward(Tensor(loss.value().shape(), weight));
+          if (!parallel.deterministic_reduce) {
+            std::lock_guard<std::mutex> lock(reduce_mu);
+            predictor.AccumulateGradientsFrom(replica);
+          }
+        });
+      }
+      pool.Wait();
+      if (parallel.deterministic_reduce) {
+        for (size_t s = 0; s < row_sets.size(); ++s) {
+          predictor.AccumulateGradientsFrom(*replicas[s]);
+        }
+      }
+      optim::ClipGradNorm(params, 5.0f);
+      adam.Step();
+      for (std::unique_ptr<Predictor>& replica : replicas) {
+        replica->CopyParametersFrom(predictor);
+      }
+    }
+  }
+
+  // Same sequential dev evaluation as FitPredictorWithMask.
+  predictor.SetTraining(false);
+  int64_t correct = 0, total = 0;
+  for (const data::Batch& batch : dev_loader.Sequential()) {
+    Tensor mask = mask_fn ? mask_fn(batch, mask_ctx) : batch.valid;
+    Tensor logits = predictor.ForwardWithConstMask(batch, mask).value();
+    float acc = nn::Accuracy(logits, batch.labels);
+    correct += static_cast<int64_t>(acc * static_cast<float>(batch.batch_size()) + 0.5f);
+    total += batch.batch_size();
+  }
+  return total > 0 ? static_cast<float>(correct) / static_cast<float>(total)
+                   : 0.0f;
+}
+
+float FitFullTextPredictorParallel(Predictor& predictor,
+                                   const Tensor& embeddings,
+                                   const TrainConfig& config,
+                                   const datasets::SyntheticDataset& dataset,
+                                   int64_t epochs, int64_t batch_size, float lr,
+                                   Pcg32& rng,
+                                   const ParallelTrainConfig& parallel) {
+  return FitPredictorWithMaskParallel(predictor, embeddings, config, dataset,
+                                      epochs, batch_size, lr, rng, parallel,
+                                      /*mask_fn=*/nullptr,
+                                      /*mask_ctx=*/nullptr);
 }
 
 float EvaluateRationaleAccuracy(RationalizerBase& model,

@@ -72,5 +72,27 @@ Batch Batch::FromTokenSequences(
   return batch;
 }
 
+Batch SelectBatchRows(const Batch& batch, const std::vector<int64_t>& rows) {
+  DAR_CHECK_GT(rows.size(), 0u);
+  int64_t t = batch.max_len();
+  Batch out;
+  out.valid = Tensor(Shape{static_cast<int64_t>(rows.size()), t});
+  out.tokens.reserve(rows.size());
+  out.labels.reserve(rows.size());
+  out.rationales.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int64_t r = rows[i];
+    DAR_CHECK_GE(r, 0);
+    DAR_CHECK_LT(r, batch.batch_size());
+    out.tokens.push_back(batch.tokens[static_cast<size_t>(r)]);
+    out.labels.push_back(batch.labels[static_cast<size_t>(r)]);
+    out.rationales.push_back(batch.rationales[static_cast<size_t>(r)]);
+    for (int64_t j = 0; j < t; ++j) {
+      out.valid.at(static_cast<int64_t>(i), j) = batch.valid.at(r, j);
+    }
+  }
+  return out;
+}
+
 }  // namespace data
 }  // namespace dar

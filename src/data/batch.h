@@ -52,6 +52,14 @@ struct Batch {
       const std::vector<std::vector<int64_t>>& sequences, int64_t pad_id);
 };
 
+/// Extracts the given rows of `batch` into a sub-batch, PRESERVING the
+/// parent's padded length (unlike re-batching the underlying examples,
+/// which would re-pad to the sub-batch's longest sequence). Keeping T fixed
+/// is what lets the data-parallel trainer slice one [B, T] noise tensor
+/// across shards and keep every per-token computation aligned with the
+/// full-batch run. `rows` must be non-empty and in range.
+Batch SelectBatchRows(const Batch& batch, const std::vector<int64_t>& rows);
+
 }  // namespace data
 }  // namespace dar
 

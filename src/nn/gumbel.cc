@@ -5,8 +5,29 @@
 namespace dar {
 namespace nn {
 
+Tensor DrawBinaryMaskNoise(const Shape& shape, Pcg32& rng) {
+  // For two classes, softmax((l + g1, g0)/tau) reduces to
+  // sigmoid((l + g1 - g0)/tau): one noise tensor suffices.
+  Tensor noise(shape);
+  for (int64_t i = 0; i < noise.numel(); ++i) {
+    noise.flat(i) = rng.Gumbel() - rng.Gumbel();
+  }
+  return noise;
+}
+
 GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
                             float tau, bool training, Pcg32& rng) {
+  if (training) {
+    return SampleBinaryMaskWithNoise(
+        logits, valid, tau, training,
+        DrawBinaryMaskNoise(logits.value().shape(), rng));
+  }
+  return SampleBinaryMaskWithNoise(logits, valid, tau, training, Tensor());
+}
+
+GumbelMask SampleBinaryMaskWithNoise(const ag::Variable& logits,
+                                     const Tensor& valid, float tau,
+                                     bool training, const Tensor& noise) {
   const Tensor& lv = logits.value();
   DAR_CHECK_EQ(lv.dim(), 2);
   DAR_CHECK(valid.shape() == lv.shape());
@@ -14,12 +35,7 @@ GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
 
   ag::Variable perturbed = logits;
   if (training) {
-    // For two classes, softmax((l + g1, g0)/tau) reduces to
-    // sigmoid((l + g1 - g0)/tau): one noise tensor suffices.
-    Tensor noise(lv.shape());
-    for (int64_t i = 0; i < noise.numel(); ++i) {
-      noise.flat(i) = rng.Gumbel() - rng.Gumbel();
-    }
+    DAR_CHECK(noise.shape() == lv.shape());
     perturbed = ag::Add(logits, ag::Variable::Constant(noise));
   }
   ag::Variable soft = ag::Sigmoid(ag::MulScalar(perturbed, 1.0f / tau));

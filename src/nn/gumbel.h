@@ -32,6 +32,21 @@ struct GumbelMask {
 GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
                             float tau, bool training, Pcg32& rng);
 
+/// The noise tensor SampleBinaryMask draws in training mode: one
+/// Gumbel(0,1) difference per element, in flat (row-major) order. The
+/// data-parallel trainer draws a whole batch's noise from the master RNG
+/// with this function and hands each shard its row slice, so the sharded
+/// run perturbs every example with exactly the values the sequential run
+/// would have used.
+Tensor DrawBinaryMaskNoise(const Shape& shape, Pcg32& rng);
+
+/// SampleBinaryMask with the training-mode noise supplied by the caller
+/// (`noise` must have the logits' shape). In eval mode the noise is unused
+/// and the result is the deterministic sigmoid, as above.
+GumbelMask SampleBinaryMaskWithNoise(const ag::Variable& logits,
+                                     const Tensor& valid, float tau,
+                                     bool training, const Tensor& noise);
+
 }  // namespace nn
 }  // namespace dar
 

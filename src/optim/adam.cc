@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/check.h"
+
 namespace dar {
 namespace optim {
 
@@ -21,7 +23,14 @@ void Adam::Step() {
   float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Variable& p = params_[i];
-    if (!p.requires_grad() || !p.has_grad()) continue;
+    if (!p.requires_grad()) continue;
+    if (!p.has_grad()) {
+      DAR_CHECK_MSG(config_.allow_missing_grad,
+                    "Adam::Step: a requires-grad parameter has no accumulated "
+                    "gradient (broken graph or dropped data-parallel shard); "
+                    "set AdamConfig::allow_missing_grad to opt out");
+      continue;
+    }
     const float* g = p.grad().data();
     float* w = p.mutable_value().data();
     float* m = m_[i].data();

@@ -18,6 +18,14 @@ struct AdamConfig {
   float beta2 = 0.999f;
   float eps = 1e-8f;
   float weight_decay = 0.0f;
+  /// When false (default), Step() aborts if any requires-grad parameter has
+  /// no accumulated gradient: in this codebase every trainable parameter
+  /// participates in every training loss, so a missing gradient means a
+  /// broken graph or a dropped data-parallel shard — silently no-opping
+  /// would train on a fraction of the data and converge to wrong answers.
+  /// Set true only for optimizers over a parameter set that is legitimately
+  /// partially active per step.
+  bool allow_missing_grad = false;
 };
 
 /// Adam with optional decoupled weight decay.

@@ -22,8 +22,10 @@ class Optimizer {
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  /// Applies one update from the current gradients. Parameters without an
-  /// accumulated gradient (e.g. frozen or unused this step) are skipped.
+  /// Applies one update from the current gradients. Frozen parameters
+  /// (requires_grad false) are skipped; a requires-grad parameter without
+  /// an accumulated gradient is an error unless the concrete optimizer's
+  /// config opts into skipping (see {Adam,Sgd}Config::allow_missing_grad).
   virtual void Step() = 0;
 
   /// Zeroes all parameter gradients.

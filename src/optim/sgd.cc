@@ -1,5 +1,7 @@
 #include "optim/sgd.h"
 
+#include "tensor/check.h"
+
 namespace dar {
 namespace optim {
 
@@ -12,7 +14,14 @@ Sgd::Sgd(std::vector<ag::Variable> params, SgdConfig config)
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Variable& p = params_[i];
-    if (!p.requires_grad() || !p.has_grad()) continue;
+    if (!p.requires_grad()) continue;
+    if (!p.has_grad()) {
+      DAR_CHECK_MSG(config_.allow_missing_grad,
+                    "Sgd::Step: a requires-grad parameter has no accumulated "
+                    "gradient (broken graph or dropped data-parallel shard); "
+                    "set SgdConfig::allow_missing_grad to opt out");
+      continue;
+    }
     const float* g = p.grad().data();
     float* w = p.mutable_value().data();
     float* vel = velocity_[i].data();

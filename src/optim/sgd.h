@@ -14,6 +14,10 @@ namespace optim {
 struct SgdConfig {
   float lr = 1e-2f;
   float momentum = 0.0f;
+  /// Same contract as AdamConfig::allow_missing_grad: by default Step()
+  /// aborts on a requires-grad parameter with no accumulated gradient
+  /// rather than silently skipping it.
+  bool allow_missing_grad = false;
 };
 
 /// Stochastic gradient descent: w -= lr * (momentum-buffered) grad.

@@ -9,6 +9,10 @@
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
+#include "core/regularizer.h"
+#include "core/train_config.h"
+#include "nn/gumbel.h"
+#include "nn/loss.h"
 #include "tensor/random.h"
 
 namespace dar {
@@ -167,6 +171,130 @@ INSTANTIATE_TEST_SUITE_P(AllOps, OpGradCheck,
                          [](const ::testing::TestParamInfo<OpCase>& info) {
                            return info.param.name;
                          });
+
+// ---- Rationalization building blocks ---------------------------------------
+//
+// The composite functions the training losses are built from: the
+// Gumbel-softmax mask surrogate, cross-entropy behind a constant input
+// mask, and the sparsity/coherence regularizer terms (eq. 3). These are
+// exactly the gradients the data-parallel trainer shards and reduces.
+
+/// A [3, 5] validity mask with a padded tail (rows of different lengths).
+Tensor TestValidMask() {
+  Tensor valid(Shape{3, 5}, 1.0f);
+  valid.at(1, 4) = 0.0f;
+  valid.at(2, 3) = 0.0f;
+  valid.at(2, 4) = 0.0f;
+  return valid;
+}
+
+/// Selection logits with well-separated neighbor values, so that the
+/// regularizer's |m_t - m_{t-1}| terms stay far from their kinks under
+/// finite-difference perturbation.
+Tensor TestSelectionLogits() {
+  return Tensor(Shape{3, 5}, {-2.0f, 1.5f, -1.0f, 2.0f, -2.5f,   //
+                              1.0f, -1.8f, 2.2f, -0.8f, 1.7f,    //
+                              -1.2f, 2.5f, -2.2f, 0.9f, -1.5f});
+}
+
+TEST(RationalizationGradCheck, GumbelSoftSurrogate) {
+  const Tensor valid = TestValidMask();
+  Pcg32 rng(17);
+  const Tensor noise = nn::DrawBinaryMaskNoise(Shape{3, 5}, rng);
+  auto fn = [&](const std::vector<Variable>& v) {
+    nn::GumbelMask mask =
+        nn::SampleBinaryMaskWithNoise(v[0], valid, /*tau=*/0.8f,
+                                      /*training=*/true, noise);
+    return Sum(Mul(mask.soft, mask.soft));
+  };
+  GradCheckResult r = CheckGradients(fn, {TestSelectionLogits()});
+  EXPECT_TRUE(r.ok) << "gumbel soft surrogate: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
+
+TEST(RationalizationGradCheck, StraightThroughHardUsesSoftGradient) {
+  // The hard mask is a step function — its true derivative is zero almost
+  // everywhere. The straight-through estimator defines its backward as the
+  // soft surrogate's, so the two paths must produce identical logit grads.
+  const Tensor valid = TestValidMask();
+  Pcg32 rng(18);
+  const Tensor noise = nn::DrawBinaryMaskNoise(Shape{3, 5}, rng);
+  Variable logits_hard = Variable::Param(TestSelectionLogits());
+  Variable logits_soft = Variable::Param(TestSelectionLogits());
+  Sum(nn::SampleBinaryMaskWithNoise(logits_hard, valid, 0.8f, true, noise)
+          .hard)
+      .Backward();
+  Sum(nn::SampleBinaryMaskWithNoise(logits_soft, valid, 0.8f, true, noise)
+          .soft)
+      .Backward();
+  EXPECT_TRUE(logits_hard.grad().vec() == logits_soft.grad().vec());
+}
+
+TEST(RationalizationGradCheck, MaskedCrossEntropy) {
+  // Cross-entropy over logits computed from a masked input: the rationale
+  // mask zeroes features, and gradients must vanish there and match finite
+  // differences everywhere else.
+  const std::vector<int64_t> labels = {0, 2, 1};
+  Tensor feature_mask(Shape{3, 4}, 1.0f);
+  feature_mask.at(0, 3) = 0.0f;
+  feature_mask.at(2, 1) = 0.0f;
+  feature_mask.at(2, 2) = 0.0f;
+  Tensor weights(Shape{4, 3},
+                 {0.4f, -0.3f, 0.2f, -0.5f, 0.6f, 0.1f,  //
+                  0.3f, -0.2f, 0.5f, 0.2f, -0.4f, 0.3f});
+  auto fn = [&](const std::vector<Variable>& v) {
+    Variable masked = Mul(v[0], Variable::Constant(feature_mask));
+    Variable logits = MatMul(masked, Variable::Constant(weights));
+    return nn::CrossEntropy(logits, labels);
+  };
+  Pcg32 rng(19);
+  GradCheckResult r = CheckGradients(fn, {Tensor::Randn({3, 4}, rng, 0.6f)});
+  EXPECT_TRUE(r.ok) << "masked cross-entropy: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
+
+TEST(RationalizationGradCheck, SparsityPenaltyTerm) {
+  const Tensor valid = TestValidMask();
+  core::TrainConfig config;
+  config.sparsity_lambda = 1.0f;
+  config.coherence_lambda = 0.0f;  // isolate the |rate - alpha| term
+  auto fn = [&](const std::vector<Variable>& v) {
+    Variable soft = Sigmoid(v[0]);
+    nn::GumbelMask mask{soft, soft};
+    return core::SparsityCoherencePenalty(mask, valid, config);
+  };
+  GradCheckResult r = CheckGradients(fn, {TestSelectionLogits()});
+  EXPECT_TRUE(r.ok) << "sparsity term: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
+
+TEST(RationalizationGradCheck, CoherencePenaltyTerm) {
+  const Tensor valid = TestValidMask();
+  core::TrainConfig config;
+  config.sparsity_lambda = 0.0f;  // isolate the |m_t - m_{t-1}| term
+  config.coherence_lambda = 1.0f;
+  auto fn = [&](const std::vector<Variable>& v) {
+    Variable soft = Sigmoid(v[0]);
+    nn::GumbelMask mask{soft, soft};
+    return core::SparsityCoherencePenalty(mask, valid, config);
+  };
+  GradCheckResult r = CheckGradients(fn, {TestSelectionLogits()});
+  EXPECT_TRUE(r.ok) << "coherence term: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
+
+TEST(RationalizationGradCheck, CombinedRegularizerAtPaperWeights) {
+  const Tensor valid = TestValidMask();
+  const core::TrainConfig config;  // paper defaults: lambda_1=5, lambda_2=0.5
+  auto fn = [&](const std::vector<Variable>& v) {
+    Variable soft = Sigmoid(v[0]);
+    nn::GumbelMask mask{soft, soft};
+    return core::SparsityCoherencePenalty(mask, valid, config);
+  };
+  GradCheckResult r = CheckGradients(fn, {TestSelectionLogits()});
+  EXPECT_TRUE(r.ok) << "combined regularizer: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
 
 }  // namespace
 }  // namespace ag

@@ -87,12 +87,41 @@ TEST(AdamTest, SkipsFrozenParameters) {
   EXPECT_EQ(frozen.value().at(0), 1.0f);
 }
 
-TEST(AdamTest, SkipsParametersWithoutGradThisStep) {
+TEST(AdamDeathTest, MissingGradAborts) {
+  // A requires-grad parameter that never received a gradient means a broken
+  // graph or a dropped data-parallel shard — silently skipping it hid such
+  // bugs, so Step() now aborts by default.
   ag::Variable used = ag::Variable::Param(Tensor::FromVector({1.0f}));
   ag::Variable unused = ag::Variable::Param(Tensor::FromVector({1.0f}));
   Adam adam({used, unused}, {.lr = 0.1f});
   ag::Sum(used).Backward();
+  EXPECT_DEATH(adam.Step(), "no accumulated");
+}
+
+TEST(AdamTest, AllowMissingGradOptsIntoSkipping) {
+  ag::Variable used = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  ag::Variable unused = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Adam adam({used, unused}, {.lr = 0.1f, .allow_missing_grad = true});
+  ag::Sum(used).Backward();
   adam.Step();
+  EXPECT_NE(used.value().at(0), 1.0f);
+  EXPECT_EQ(unused.value().at(0), 1.0f);
+}
+
+TEST(SgdDeathTest, MissingGradAborts) {
+  ag::Variable used = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  ag::Variable unused = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Sgd sgd({used, unused}, {.lr = 0.1f});
+  ag::Sum(used).Backward();
+  EXPECT_DEATH(sgd.Step(), "no accumulated");
+}
+
+TEST(SgdTest, AllowMissingGradOptsIntoSkipping) {
+  ag::Variable used = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  ag::Variable unused = ag::Variable::Param(Tensor::FromVector({1.0f}));
+  Sgd sgd({used, unused}, {.lr = 0.1f, .allow_missing_grad = true});
+  ag::Sum(used).Backward();
+  sgd.Step();
   EXPECT_NE(used.value().at(0), 1.0f);
   EXPECT_EQ(unused.value().at(0), 1.0f);
 }
