@@ -11,12 +11,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/train_config.h"
 #include "datasets/beer.h"
 #include "datasets/hotel.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dar {
 namespace bench {
@@ -87,6 +90,71 @@ inline void AddResultRow(eval::TablePrinter& table, const std::string& label,
                 eval::FormatPercent(result.rationale.recall),
                 eval::FormatPercent(result.rationale.f1)});
 }
+
+/// Assembles a BENCH_*.json record on top of the obs JSONL exporter.
+///
+/// Scalar fields and a raw `results` array come from the bench itself;
+/// Write() then flushes the thread-local span buffers and appends every
+/// `span.*` histogram of the global registry (one exporter line each) as
+/// the `"spans"` array — so any bench that runs under
+/// obs::SetTraceLevel(kCoarse or kDetailed) records its phase timings
+/// alongside the numbers it measures.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(const std::string& name, const BenchOptions& options) {
+    Field("bench", name);
+    Field("profile", options.quick ? "quick" : "standard");
+    Field("seed", static_cast<int64_t>(options.seed));
+  }
+
+  void Field(const std::string& name, const std::string& value) {
+    fields_.push_back("\"" + name + "\": \"" + value + "\"");
+  }
+  void Field(const std::string& name, const char* value) {
+    Field(name, std::string(value));
+  }
+  void Field(const std::string& name, int64_t value) {
+    fields_.push_back("\"" + name + "\": " + std::to_string(value));
+  }
+  void Field(const std::string& name, double value, int precision = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    fields_.push_back("\"" + name + "\": " + buf);
+  }
+  /// `json` must be a complete JSON value (typically the results array).
+  void RawField(const std::string& name, const std::string& json) {
+    fields_.push_back("\"" + name + "\": " + json);
+  }
+
+  bool Write(const std::string& path) {
+    obs::FlushThreadSpans();
+    std::string spans;
+    std::string jsonl = obs::MetricsRegistry::Global().ExportJsonl();
+    size_t start = 0;
+    while (start < jsonl.size()) {
+      size_t end = jsonl.find('\n', start);
+      if (end == std::string::npos) end = jsonl.size();
+      std::string line = jsonl.substr(start, end - start);
+      if (line.find("\"name\":\"span.") != std::string::npos) {
+        if (!spans.empty()) spans += ",\n    ";
+        spans += line;
+      }
+      start = end + 1;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (const std::string& field : fields_) {
+      std::fprintf(f, "  %s,\n", field.c_str());
+    }
+    std::fprintf(f, "  \"spans\": [\n    %s\n  ]\n}\n", spans.c_str());
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
 
 /// Trains `method` on `dataset` with the sparsity target matched to the
 /// gold annotation level (the paper's protocol) and returns the result.

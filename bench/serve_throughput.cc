@@ -173,5 +173,50 @@ int main(int argc, char** argv) {
   std::printf("\nbest micro-batched speedup over naive: %.2fx (%s)\n",
               best_rps / naive_rps,
               best_rps / naive_rps >= 4.0 ? "PASS >= 4x" : "BELOW 4x target");
+
+  // Span overhead: the naive path re-measured at every trace level, better
+  // of two reps each. kOff is the shipping default (a Span is one relaxed
+  // atomic load); kCoarse adds one steady_clock pair per request; kDetailed
+  // times every matmul/GRU step/Gumbel sample inside the forward.
+  struct OverheadArm {
+    const char* label;
+    obs::TraceLevel level;
+    double rps = 0.0;
+  };
+  std::vector<OverheadArm> levels = {{"off", obs::TraceLevel::kOff},
+                                     {"coarse", obs::TraceLevel::kCoarse},
+                                     {"detailed", obs::TraceLevel::kDetailed}};
+  for (OverheadArm& arm : levels) {
+    obs::SetTraceLevel(arm.level);
+    for (int rep = 0; rep < 2; ++rep) {
+      session.stats().Reset();
+      arm.rps = std::max(arm.rps, MeasureNaive(session, requests));
+    }
+  }
+  obs::SetTraceLevel(obs::TraceLevel::kOff);
+  std::printf("\nspan overhead on the naive path (better of 2 reps):\n");
+  std::printf("  off      %8.0f req/s (baseline)\n", levels[0].rps);
+  double coarse_overhead = 0.0;
+  for (size_t i = 1; i < levels.size(); ++i) {
+    const double overhead = (levels[0].rps / levels[i].rps - 1.0) * 100.0;
+    if (i == 1) coarse_overhead = overhead;
+    std::printf("  %-8s %8.0f req/s (%+.2f%% overhead)%s\n", levels[i].label,
+                levels[i].rps, overhead,
+                i == 1 ? (overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%")
+                       : "");
+  }
+
+  bench::BenchJsonWriter json("serve_throughput", options);
+  json.Field("requests", static_cast<int64_t>(num_requests));
+  json.Field("naive_rps", naive_rps, 2);
+  json.Field("best_batched_rps", best_rps, 2);
+  json.Field("best_speedup", best_rps / naive_rps);
+  json.Field("span_overhead_off_rps", levels[0].rps, 2);
+  json.Field("span_overhead_coarse_rps", levels[1].rps, 2);
+  json.Field("span_overhead_detailed_rps", levels[2].rps, 2);
+  json.Field("span_overhead_coarse_pct", coarse_overhead, 2);
+  if (json.Write("BENCH_serve_throughput.json")) {
+    std::printf("\nwrote BENCH_serve_throughput.json\n");
+  }
   return 0;
 }

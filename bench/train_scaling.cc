@@ -11,9 +11,12 @@
 // BENCH_train_scaling.json (cwd; run via run_benches.sh from the repo
 // root) so later changes can be compared against it. The host core count
 // is part of the record: speedup is bounded by physical parallelism, and
-// a single-core host pins every point near 1.0x.
+// a single-core host pins every point near 1.0x. The sweep runs under
+// coarse tracing, so the record also carries the train.shard /
+// train.reduce / train.step / train.broadcast span histograms.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -40,6 +43,10 @@ int Main(int argc, char** argv) {
   bench::PrintHeader("train_scaling",
                      "data-parallel training throughput (workers sweep)",
                      options);
+  // Coarse spans (per-phase timers) cost one steady_clock pair per batch
+  // phase — negligible against the forwards they bracket — and let the
+  // JSON record show where the wall-clock went.
+  obs::SetTraceLevel(obs::TraceLevel::kCoarse);
 
   const datasets::SyntheticDataset dataset = datasets::MakeBeerDataset(
       datasets::BeerAspect::kAroma, options.sizes(), options.seed);
@@ -86,27 +93,25 @@ int Main(int argc, char** argv) {
   table.Print();
 
   const char* json_path = "BENCH_train_scaling.json";
-  if (std::FILE* f = std::fopen(json_path, "w")) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"train_scaling\",\n"
-                 "  \"profile\": \"%s\",\n  \"seed\": %llu,\n"
-                 "  \"host_hardware_threads\": %u,\n"
-                 "  \"train_examples\": %zu,\n  \"epochs\": %lld,\n"
-                 "  \"results\": [\n",
-                 options.quick ? "quick" : "standard",
-                 static_cast<unsigned long long>(options.seed), host_cores,
-                 dataset.train.size(), static_cast<long long>(config.epochs));
-    for (size_t i = 0; i < points.size(); ++i) {
-      const ScalingPoint& p = points[i];
-      std::fprintf(f,
-                   "    {\"workers\": %d, \"seconds\": %.4f, "
-                   "\"examples_per_sec\": %.2f, \"speedup\": %.4f, "
-                   "\"best_dev_acc\": %.4f}%s\n",
-                   p.workers, p.seconds, p.examples_per_sec, p.speedup,
-                   p.final_dev_acc, i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+  bench::BenchJsonWriter json("train_scaling", options);
+  json.Field("host_hardware_threads", static_cast<int64_t>(host_cores));
+  json.Field("train_examples", static_cast<int64_t>(dataset.train.size()));
+  json.Field("epochs", static_cast<int64_t>(config.epochs));
+  std::string results = "[\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %d, \"seconds\": %.4f, "
+                  "\"examples_per_sec\": %.2f, \"speedup\": %.4f, "
+                  "\"best_dev_acc\": %.4f}%s\n",
+                  p.workers, p.seconds, p.examples_per_sec, p.speedup,
+                  p.final_dev_acc, i + 1 < points.size() ? "," : "");
+    results += buf;
+  }
+  results += "  ]";
+  json.RawField("results", results);
+  if (json.Write(json_path)) {
     std::printf("\nwrote %s\n", json_path);
   } else {
     std::printf("\ncould not write %s\n", json_path);

@@ -96,9 +96,12 @@ int main() {
     std::printf("\n");
   }
 
-  // 5. Serving stats.
+  // 5. Serving stats: the one-line snapshot plus the Prometheus text
+  //    exposition a scrape endpoint would return (CI greps a line of it).
   std::printf("\nserving stats: %s\n",
               session->stats().Snapshot().ToString().c_str());
+  std::printf("\nprometheus exposition:\n%s",
+              session->stats().ExportPrometheus().c_str());
   std::remove(path);
   return 0;
 }

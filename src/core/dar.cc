@@ -36,6 +36,8 @@ ag::Variable DarModel::TrainLoss(const data::Batch& batch) {
   // gradient reaches only the generator, through the mask (eq. 5).
   ag::Variable disc_logits = discriminator_.Forward(batch, mask.hard);
   ag::Variable disc_ce = nn::CrossEntropy(disc_logits, batch.labels);
+  last_breakdown_.align_ce = disc_ce.value().item();
+  last_breakdown_.has_align = true;
   ag::Variable loss = ag::Add(core, ag::MulScalar(disc_ce, config_.aux_weight));
   if (!options_.freeze_discriminator) {
     // Co-trained ablation arm: the auxiliary module also learns the

@@ -1,13 +1,16 @@
 #include "core/parallel_trainer.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 
+#include "core/telemetry.h"
 #include "data/dataloader.h"
 #include "nn/gumbel.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/clip.h"
 #include "tensor/check.h"
@@ -165,6 +168,7 @@ float DataParallelTrainer::ReduceGradientsForBatch(const data::Batch& batch) {
   for (int64_t s = 0; s < shards; ++s) {
     pool_->Submit([this, s, b, training, deterministic, &row_sets, &batch,
                    &noise, &shard_loss, &reduce_mu] {
+      obs::Span shard_span("train.shard");
       RationalizerBase& replica = *replicas_[s];
       const std::vector<int64_t>& rows = row_sets[s];
       const data::Batch shard = data::SelectBatchRows(batch, rows);
@@ -196,8 +200,33 @@ float DataParallelTrainer::ReduceGradientsForBatch(const data::Batch& batch) {
   if (deterministic) {
     // Barrier above, then fixed shard-order reduce: the summation tree is a
     // function of (num_shards, shard_policy) only, never of thread timing.
+    obs::Span reduce_span("train.reduce");
     for (int64_t s = 0; s < shards; ++s) AccumulateReplicaGradients(s);
   }
+
+  // Combine the per-shard loss breakdowns with the same weights the loss
+  // reduction uses; valid only if every replica stashed one.
+  last_batch_breakdown_ = LossBreakdown{};
+  bool all_valid = true, all_align = true;
+  for (int64_t s = 0; s < shards; ++s) {
+    const LossBreakdown& bd = replicas_[s]->last_loss_breakdown();
+    if (!bd.valid) {
+      all_valid = false;
+      break;
+    }
+    const double w = static_cast<double>(row_sets[s].size()) /
+                     static_cast<double>(b);
+    last_batch_breakdown_.task_ce += static_cast<float>(w * bd.task_ce);
+    last_batch_breakdown_.omega += static_cast<float>(w * bd.omega);
+    last_batch_breakdown_.sparsity += static_cast<float>(w * bd.sparsity);
+    if (bd.has_align) {
+      last_batch_breakdown_.align_ce += static_cast<float>(w * bd.align_ce);
+    } else {
+      all_align = false;
+    }
+  }
+  last_batch_breakdown_.valid = all_valid;
+  last_batch_breakdown_.has_align = all_valid && all_align;
 
   double total = 0.0;
   for (int64_t s = 0; s < shards; ++s) total += shard_loss[s];
@@ -225,7 +254,7 @@ uint64_t DataParallelTrainer::ReplicaChecksum(int64_t i) {
 }
 
 TrainRun DataParallelTrainer::Fit(const datasets::SyntheticDataset& dataset,
-                                  bool verbose) {
+                                  bool verbose, obs::TrainObserver* observer) {
   const TrainConfig& config = master_.config();
   master_.Prepare(dataset);
   // Replicas must mirror the post-Prepare() state (DAR pretrains and
@@ -237,31 +266,72 @@ TrainRun DataParallelTrainer::Fit(const datasets::SyntheticDataset& dataset,
   pool_.reset();
   EnsureReplicas();
 
+  // Telemetry fan-out, mirroring the sequential Fit(): the classic verbose
+  // console line is an observer; the display tag carries the shard count.
+  obs::ConsoleTrainLogger console(obs::LogLevel::kInfo);
+  obs::MultiTrainObserver observers;
+  if (verbose) observers.Add(&console);
+  observers.Add(observer);
+  const bool observing = !observers.empty();
+  const std::string model_tag =
+      master_.name() + " x" + std::to_string(num_shards_);
+  // The probe trains on its own RNG streams and only measures on the
+  // master, so the sharded trajectory stays bit-identical with or without
+  // it (asserted in tests/obs_test.cc via the num_shards=1 equivalence).
+  std::unique_ptr<RationaleShiftProbe> probe;
+  if (observing && observers.WantsRationaleShift()) {
+    probe = std::make_unique<RationaleShiftProbe>(master_, dataset);
+  }
+
   optim::Adam adam(master_params_, {.lr = config.lr});
   data::DataLoader train_loader(dataset.train, config.batch_size,
                                 /*shuffle=*/true);
 
   TrainRun run;
   std::vector<Tensor> best_values;
+  EpochTelemetryAccumulator epoch_acc;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     master_.SetTraining(true);
     SetReplicasTraining(true);
     double loss_sum = 0.0;
     int64_t batches = 0;
     for (const data::Batch& batch : train_loader.Epoch(master_.rng())) {
+      obs::Span batch_span("train.batch");
       const float batch_loss = ReduceGradientsForBatch(batch);
-      optim::ClipGradNorm(master_params_, config.grad_clip);
-      adam.Step();
-      BroadcastParameters();
+      const float grad_norm =
+          optim::ClipGradNorm(master_params_, config.grad_clip);
+      {
+        obs::Span step_span("train.step");
+        adam.Step();
+      }
+      {
+        obs::Span broadcast_span("train.broadcast");
+        BroadcastParameters();
+      }
       ++step_;
       if (post_step_hook_) post_step_hook_(step_);
       loss_sum += static_cast<double>(batch_loss);
       ++batches;
+      if (observing) {
+        obs::BatchTelemetry telemetry =
+            MakeBatchTelemetry(epoch, batches - 1, batch_loss, grad_norm,
+                               last_batch_breakdown_);
+        if (probe != nullptr) {
+          telemetry.rationale_shift = probe->MeasureShift(master_, batch);
+          telemetry.has_shift = true;
+        }
+        observers.OnBatch(telemetry);
+        epoch_acc.Add(telemetry);
+      }
     }
 
     master_.SetTraining(false);
-    float dev_acc =
-        EvaluateRationaleAccuracy(master_, dataset.dev, config.batch_size);
+    float dev_acc;
+    {
+      obs::Span eval_span("train.eval");
+      dev_acc =
+          EvaluateRationaleAccuracy(master_, dataset.dev, config.batch_size);
+    }
     EpochStats stats;
     stats.train_loss =
         static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
@@ -273,12 +343,9 @@ TrainRun DataParallelTrainer::Fit(const datasets::SyntheticDataset& dataset,
       run.best_epoch = epoch;
       best_values = SnapshotValues(master_params_);
     }
-    if (verbose) {
-      std::printf("  [%s x%lld] epoch %2lld  loss %.4f  dev_acc %.3f\n",
-                  master_.name().c_str(),
-                  static_cast<long long>(num_shards_),
-                  static_cast<long long>(epoch), stats.train_loss, dev_acc);
-      std::fflush(stdout);
+    if (observing) {
+      observers.OnEpoch(
+          epoch_acc.Finish(epoch, model_tag, stats.train_loss, dev_acc));
     }
   }
   if (!best_values.empty()) RestoreValues(master_params_, best_values);

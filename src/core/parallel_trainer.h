@@ -59,9 +59,13 @@ class DataParallelTrainer {
   DataParallelTrainer(RationalizerBase& master, ParallelTrainConfig config);
 
   /// The sequential Fit() protocol (Prepare, Adam, clipping, best-epoch
-  /// snapshot restore) with sharded per-batch gradients.
-  TrainRun Fit(const datasets::SyntheticDataset& dataset,
-               bool verbose = false);
+  /// snapshot restore) with sharded per-batch gradients. `observer` is the
+  /// same passive telemetry hook as on the sequential Fit(): loss
+  /// components aggregate across shards (shard-size weighted), the
+  /// gradient norm is the reduced master norm, and the rationale-shift
+  /// gauge is measured on the master model.
+  TrainRun Fit(const datasets::SyntheticDataset& dataset, bool verbose = false,
+               obs::TrainObserver* observer = nullptr);
 
   /// One shard → replica → reduce cycle: zeroes the master gradients, runs
   /// per-shard forward/backward on the replicas, reduces into the master
@@ -70,6 +74,13 @@ class DataParallelTrainer {
   /// be in training mode. Callers using this directly on a method with a
   /// Prepare() step (DAR) must run Prepare() first.
   float ReduceGradientsForBatch(const data::Batch& batch);
+
+  /// Loss breakdown of the last ReduceGradientsForBatch() call: the
+  /// replicas' per-shard breakdowns combined with the same shard-size
+  /// weights as the loss itself. `valid` only if every shard reported one.
+  const LossBreakdown& last_batch_breakdown() const {
+    return last_batch_breakdown_;
+  }
 
   /// Copies the master parameter values into every replica. Fit() calls
   /// this after each optimizer step.
@@ -107,6 +118,7 @@ class DataParallelTrainer {
   std::unique_ptr<serve::ThreadPool> pool_;
   std::function<void(int64_t)> post_step_hook_;
   int64_t step_ = 0;
+  LossBreakdown last_batch_breakdown_;
 };
 
 }  // namespace core

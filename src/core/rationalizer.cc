@@ -97,6 +97,21 @@ ag::Variable RationalizerBase::RnpCoreLoss(const data::Batch& batch,
   ag::Variable omega = SparsityCoherencePenalty(mask, batch.valid, config_);
   if (mask_out != nullptr) *mask_out = mask;
   if (logits_out != nullptr) *logits_out = logits;
+
+  // Telemetry: loss components and realized sparsity of the sampled mask
+  // (selected / valid; hard already zeroes padded positions).
+  last_breakdown_ = LossBreakdown{};
+  last_breakdown_.task_ce = ce.value().item();
+  last_breakdown_.omega = omega.value().item();
+  const Tensor& hard = mask.hard.value();
+  double selected = 0.0, valid_total = 0.0;
+  for (int64_t i = 0; i < hard.numel(); ++i) selected += hard.flat(i);
+  for (int64_t i = 0; i < batch.valid.numel(); ++i) {
+    valid_total += batch.valid.flat(i);
+  }
+  last_breakdown_.sparsity =
+      valid_total > 0.0 ? static_cast<float>(selected / valid_total) : 0.0f;
+  last_breakdown_.valid = true;
   return ag::Add(ce, omega);
 }
 

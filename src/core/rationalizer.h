@@ -18,6 +18,24 @@
 namespace dar {
 namespace core {
 
+/// Components of the last TrainLoss() computed on a model, for telemetry.
+/// Methods built on RnpCoreLoss fill task_ce / omega / sparsity (valid
+/// becomes true); DAR additionally fills align_ce (has_align). Methods
+/// with bespoke losses leave it invalid and only the total is observable.
+struct LossBreakdown {
+  /// H_c(Y, P(Z)) — the informativeness cross-entropy (eq. 2).
+  float task_ce = 0.0f;
+  /// H_c(Y, P^t(Z)) — DAR's discriminative-alignment term (eq. 5),
+  /// unweighted (the loss applies config.aux_weight on top).
+  float align_ce = 0.0f;
+  /// Omega(M) — the sparsity + coherence regularizer (eq. 3).
+  float omega = 0.0f;
+  /// Fraction of valid tokens the sampled hard mask selected.
+  float sparsity = 0.0f;
+  bool has_align = false;
+  bool valid = false;
+};
+
 /// A rationalization method: a generator/predictor pair plus a
 /// method-specific training loss. Subclasses add auxiliary modules
 /// (DAR's frozen discriminator, DMR's teacher, A2R's soft predictor, ...)
@@ -106,6 +124,11 @@ class RationalizerBase {
     injected_mask_noise_ = noise;
   }
 
+  /// Components of the most recent TrainLoss() on this instance (each
+  /// replica of a data-parallel run is its own instance, so no cross-thread
+  /// sharing). Invalid until the first TrainLoss call.
+  const LossBreakdown& last_loss_breakdown() const { return last_breakdown_; }
+
   Generator& generator() { return generator_; }
   Predictor& predictor() { return predictor_; }
   const TrainConfig& config() const { return config_; }
@@ -131,6 +154,7 @@ class RationalizerBase {
   Generator generator_;
   Predictor predictor_;
   const Tensor* injected_mask_noise_ = nullptr;
+  LossBreakdown last_breakdown_;
 };
 
 /// Saves every module of a trained model (CheckpointModules) as one

@@ -1,13 +1,14 @@
 #include "core/trainer.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <memory>
 #include <mutex>
 
 #include "core/parallel_trainer.h"
+#include "core/telemetry.h"
 #include "data/dataloader.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/clip.h"
 #include "serve/thread_pool.h"
@@ -38,9 +39,24 @@ void RestoreValues(std::vector<ag::Variable>& params,
 }  // namespace
 
 TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
-             bool verbose) {
+             bool verbose, obs::TrainObserver* observer) {
   const TrainConfig& config = model.config();
   model.Prepare(dataset);
+
+  // Telemetry fan-out: the classic verbose console line is itself a
+  // TrainObserver now; user observers ride alongside it.
+  obs::ConsoleTrainLogger console(obs::LogLevel::kInfo);
+  obs::MultiTrainObserver observers;
+  if (verbose) observers.Add(&console);
+  observers.Add(observer);
+  const bool observing = !observers.empty();
+  // The rationale-shift gauge needs a frozen full-text probe; it trains on
+  // its own RNG streams, so building it never perturbs the model's
+  // trajectory (telemetry stays passive).
+  std::unique_ptr<RationaleShiftProbe> probe;
+  if (observing && observers.WantsRationaleShift()) {
+    probe = std::make_unique<RationaleShiftProbe>(model, dataset);
+  }
 
   std::vector<ag::Variable> params = model.TrainableParameters();
   optim::Adam adam(params, {.lr = config.lr});
@@ -49,23 +65,43 @@ TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
 
   TrainRun run;
   std::vector<Tensor> best_values;
+  EpochTelemetryAccumulator epoch_acc;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     model.SetTraining(true);
     double loss_sum = 0.0;
     int64_t batches = 0;
     for (const data::Batch& batch : train_loader.Epoch(model.rng())) {
+      obs::Span batch_span("train.batch");
       adam.ZeroGrad();
       ag::Variable loss = model.TrainLoss(batch);
       loss.Backward();
-      optim::ClipGradNorm(params, config.grad_clip);
-      adam.Step();
+      const float grad_norm = optim::ClipGradNorm(params, config.grad_clip);
+      {
+        obs::Span step_span("train.step");
+        adam.Step();
+      }
       loss_sum += loss.value().item();
       ++batches;
+      if (observing) {
+        obs::BatchTelemetry telemetry = MakeBatchTelemetry(
+            epoch, batches - 1, loss.value().item(), grad_norm,
+            model.last_loss_breakdown());
+        if (probe != nullptr) {
+          telemetry.rationale_shift = probe->MeasureShift(model, batch);
+          telemetry.has_shift = true;
+        }
+        observers.OnBatch(telemetry);
+        epoch_acc.Add(telemetry);
+      }
     }
 
     model.SetTraining(false);
-    float dev_acc =
-        EvaluateRationaleAccuracy(model, dataset.dev, config.batch_size);
+    float dev_acc;
+    {
+      obs::Span eval_span("train.eval");
+      dev_acc =
+          EvaluateRationaleAccuracy(model, dataset.dev, config.batch_size);
+    }
     EpochStats stats;
     stats.train_loss = static_cast<float>(loss_sum / std::max<int64_t>(batches, 1));
     stats.dev_acc = dev_acc;
@@ -77,11 +113,9 @@ TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
       run.best_epoch = epoch;
       best_values = SnapshotValues(params);
     }
-    if (verbose) {
-      std::printf("  [%s] epoch %2lld  loss %.4f  dev_acc %.3f\n",
-                  model.name().c_str(), static_cast<long long>(epoch),
-                  stats.train_loss, dev_acc);
-      std::fflush(stdout);
+    if (observing) {
+      observers.OnEpoch(epoch_acc.Finish(epoch, model.name(),
+                                         stats.train_loss, dev_acc));
     }
   }
   if (!best_values.empty()) RestoreValues(params, best_values);
@@ -90,9 +124,10 @@ TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
 }
 
 TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
-             const ParallelTrainConfig& parallel, bool verbose) {
+             const ParallelTrainConfig& parallel, bool verbose,
+             obs::TrainObserver* observer) {
   DataParallelTrainer trainer(model, parallel);
-  return trainer.Fit(dataset, verbose);
+  return trainer.Fit(dataset, verbose, observer);
 }
 
 float FitPredictorWithMask(Predictor& predictor,

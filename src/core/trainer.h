@@ -8,6 +8,7 @@
 #include "core/predictor.h"
 #include "core/rationalizer.h"
 #include "datasets/synthetic_review.h"
+#include "obs/train_observer.h"
 
 namespace dar {
 namespace core {
@@ -31,8 +32,15 @@ struct TrainRun {
 /// then `config.epochs` epochs of Adam on TrainLoss with gradient clipping,
 /// early "stopping" by snapshot — the parameters from the best-dev-accuracy
 /// epoch are restored at the end (the paper's protocol, Appendix B).
+///
+/// `observer` (optional) receives per-step and per-epoch telemetry: loss
+/// components, gradient norms, rationale sparsity, and — when the observer
+/// asks for it — the rationale-shift gauge measured against a frozen
+/// full-text probe (core/telemetry.h). Telemetry is passive: attaching an
+/// observer never changes the training trajectory. `verbose` attaches the
+/// classic one-line-per-epoch console log (an obs::ConsoleTrainLogger).
 TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
-             bool verbose = false);
+             bool verbose = false, obs::TrainObserver* observer = nullptr);
 
 /// How a minibatch's rows are assigned to shards.
 enum class ShardPolicy {
@@ -73,9 +81,11 @@ struct ParallelTrainConfig {
 /// DAR do). Gumbel noise is drawn per batch from the master RNG in the
 /// sequential order, so with num_shards = 1 this path reproduces the
 /// sequential Fit() bit-exactly; with more shards it computes the same
-/// per-example-mean gradient up to float summation order.
+/// per-example-mean gradient up to float summation order. `observer` is
+/// the same passive telemetry hook as on the sequential Fit().
 TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
-             const ParallelTrainConfig& parallel, bool verbose = false);
+             const ParallelTrainConfig& parallel, bool verbose = false,
+             obs::TrainObserver* observer = nullptr);
 
 /// Pretrains `predictor` to classify with a fixed mask policy. Used for
 /// DAR's predictor^t (full-text mask), the skewed-predictor setting

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 #include "tensor/tensor_ops.h"
 
@@ -50,6 +51,7 @@ ag::Variable Gru::Step(const ag::Variable& x_proj, const ag::Variable& h) const 
 }
 
 ag::Variable Gru::Forward(const ag::Variable& x, const Tensor* valid) const {
+  obs::Span span("gru.forward", obs::TraceLevel::kDetailed);
   const Tensor& xv = x.value();
   DAR_CHECK_EQ(xv.dim(), 3);
   int64_t b = xv.size(0), t_len = xv.size(1);

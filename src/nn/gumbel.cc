@@ -1,5 +1,6 @@
 #include "nn/gumbel.h"
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -28,6 +29,7 @@ GumbelMask SampleBinaryMask(const ag::Variable& logits, const Tensor& valid,
 GumbelMask SampleBinaryMaskWithNoise(const ag::Variable& logits,
                                      const Tensor& valid, float tau,
                                      bool training, const Tensor& noise) {
+  obs::Span span("gumbel.sample", obs::TraceLevel::kDetailed);
   const Tensor& lv = logits.value();
   DAR_CHECK_EQ(lv.dim(), 2);
   DAR_CHECK(valid.shape() == lv.shape());

@@ -1,0 +1,281 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dar {
+namespace obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (portable across toolchains that
+/// predate C++20 floating-point fetch_add).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// %g-style compact number rendering that is always valid JSON (never
+/// "inf"/"nan" bare — those become null).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    // Ascending edges are a constructor contract, not a runtime input.
+    if (bounds_[i] <= bounds_[i - 1]) {
+      bounds_.clear();
+      buckets_ = std::vector<std::atomic<int64_t>>(1);
+      break;
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  // upper_bound gives the first edge > v, i.e. edges are inclusive uppers.
+  if (idx > 0 && v == bounds_[idx - 1]) --idx;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMax(max_, v);
+}
+
+void Histogram::MergeCounts(const int64_t* bucket_counts, int64_t count,
+                            double sum, double max) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (bucket_counts[i] != 0) {
+      buckets_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  AtomicAdd(sum_, sum);
+  AtomicMax(max_, max);
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Nearest-rank target, matching PercentileSorted on exact samples.
+  double rank = p / 100.0 * static_cast<double>(total);
+  int64_t target = static_cast<int64_t>(std::ceil(rank));
+  target = std::max<int64_t>(1, std::min(target, total));
+
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (seen + counts[i] < target) {
+      seen += counts[i];
+      continue;
+    }
+    // The target falls in bucket i: interpolate between its edges. The
+    // overflow bucket has no upper edge — its estimate is the exact max.
+    double hi = i < bounds_.size()
+                    ? bounds_[i]
+                    : max_.load(std::memory_order_relaxed);
+    double lo = i > 0 ? bounds_[i - 1] : 0.0;
+    double frac = counts[i] > 0 ? static_cast<double>(target - seen) /
+                                      static_cast<double>(counts[i])
+                                : 1.0;
+    double estimate = lo + (hi - lo) * frac;
+    // Never report past the exact observed max.
+    return std::min(estimate, max_.load(std::memory_order_relaxed));
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DurationBucketsUs() {
+  static const std::vector<double>& buckets = *new std::vector<double>{
+      1,     2,     5,     10,    20,    50,    100,   200,   500,
+      1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,   2e5,   5e5,
+      1e6,   2e6,   5e6,   1e7};
+  return buckets;
+}
+
+int64_t PercentileSorted(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::string MetricsRegistry::ExportJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + std::to_string(counter->value()) + "}\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + JsonEscape(name) +
+           "\",\"value\":" + JsonNumber(gauge->value()) + "}\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + JsonEscape(name) +
+           "\",\"count\":" + std::to_string(hist->count()) +
+           ",\"sum\":" + JsonNumber(hist->sum()) +
+           ",\"mean\":" + JsonNumber(hist->mean()) +
+           ",\"max\":" + JsonNumber(hist->max()) +
+           ",\"p50\":" + JsonNumber(hist->Percentile(50.0)) +
+           ",\"p95\":" + JsonNumber(hist->Percentile(95.0)) +
+           ",\"p99\":" + JsonNumber(hist->Percentile(99.0)) + "}\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[128];
+  for (const auto& [name, counter] : counters_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", pname.c_str(),
+                  static_cast<long long>(counter->value()));
+    out += buf;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", pname.c_str(),
+                  gauge->value());
+    out += buf;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    const std::vector<int64_t> counts = hist->BucketCounts();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      if (i < hist->bounds().size()) {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %lld\n",
+                      pname.c_str(), hist->bounds()[i],
+                      static_cast<long long>(cumulative));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %lld\n",
+                      pname.c_str(), static_cast<long long>(cumulative));
+      }
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n", pname.c_str(),
+                  hist->sum());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %lld\n", pname.c_str(),
+                  static_cast<long long>(hist->count()));
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: worker threads may flush span buffers during static
+  // destruction, so the registry must outlive every thread.
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace dar

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -23,6 +24,7 @@ MicroBatcher::MicroBatcher(const InferenceSession& session,
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
+  obs::Span span("serve.enqueue");
   Pending pending;
   pending.tokens = session_->Encode(text);
   pending.enqueued = std::chrono::steady_clock::now();
@@ -122,6 +124,7 @@ void MicroBatcher::WorkerLoop() {
   for (;;) {
     std::vector<Pending> taken;
     {
+      obs::Span collect_span("serve.batch_collect");
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained

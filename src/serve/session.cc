@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "data/tokenizer.h"
+#include "obs/trace.h"
 #include "tensor/check.h"
 #include "tensor/tensor_ops.h"
 
@@ -64,6 +65,7 @@ InferenceResult InferenceSession::Predict(const std::string& text) const {
 
 std::vector<InferenceResult> InferenceSession::PredictTokenBatch(
     const std::vector<std::vector<int64_t>>& sequences) const {
+  obs::Span span("serve.forward");
   data::Batch batch =
       data::Batch::FromTokenSequences(sequences, data::Vocabulary::kPadId);
   Tensor mask = model_->EvalMaskConst(batch);

@@ -1,22 +1,22 @@
 #include "serve/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 
 namespace dar {
 namespace serve {
 
 namespace {
 
-/// Nearest-rank percentile of a sorted sample (0 for an empty one).
-int64_t PercentileSorted(const std::vector<int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  double rank = p / 100.0 * static_cast<double>(sorted.size());
-  size_t index = static_cast<size_t>(rank);
-  if (static_cast<double>(index) < rank) ++index;  // ceil
-  if (index == 0) index = 1;
-  if (index > sorted.size()) index = sorted.size();
-  return sorted[index - 1];
+/// Batch sizes are small integers; unit-width buckets up to 64 then a few
+/// coarse ones keep the Prometheus series short.
+std::vector<double> BatchSizeBuckets() {
+  std::vector<double> bounds;
+  for (int64_t b = 1; b <= 64; ++b) bounds.push_back(static_cast<double>(b));
+  for (double b : {96.0, 128.0, 256.0, 512.0}) bounds.push_back(b);
+  return bounds;
 }
 
 }  // namespace
@@ -35,48 +35,90 @@ std::string StatsSnapshot::ToString() const {
   return std::string(buf);
 }
 
+ServingStats::ServingStats(obs::MetricsRegistry* registry, std::string prefix,
+                           size_t exact_latency_cap)
+    : exact_latency_cap_(exact_latency_cap) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  requests_ = &registry_->GetCounter(prefix + ".requests_total");
+  batches_ = &registry_->GetCounter(prefix + ".batches_total");
+  latency_hist_ = &registry_->GetHistogram(prefix + ".latency_us",
+                                           obs::DurationBucketsUs());
+  batch_size_hist_ =
+      &registry_->GetHistogram(prefix + ".batch_size", BatchSizeBuckets());
+}
+
 void ServingStats::RecordBatch(int64_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  requests_ += batch_size;
+  batches_->Increment();
+  requests_->Increment(batch_size);
   ++batch_size_histogram_[batch_size];
+  batch_size_hist_->Observe(static_cast<double>(batch_size));
+}
+
+void ServingStats::ObserveLatencyLocked(int64_t us) {
+  ++latency_count_;
+  latency_max_us_ = std::max(latency_max_us_, us);
+  if (latencies_us_.size() < exact_latency_cap_) latencies_us_.push_back(us);
+  latency_hist_->Observe(static_cast<double>(us));
 }
 
 void ServingStats::RecordLatencyUs(int64_t us) {
   std::lock_guard<std::mutex> lock(mu_);
-  latencies_us_.push_back(us);
+  ObserveLatencyLocked(us);
 }
 
 void ServingStats::RecordLatenciesUs(const std::vector<int64_t>& us) {
   std::lock_guard<std::mutex> lock(mu_);
-  latencies_us_.insert(latencies_us_.end(), us.begin(), us.end());
+  for (int64_t v : us) ObserveLatencyLocked(v);
 }
 
 StatsSnapshot ServingStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   StatsSnapshot snapshot;
-  snapshot.requests = requests_;
-  snapshot.batches = batches_;
+  snapshot.requests = requests_->value();
+  snapshot.batches = batches_->value();
   snapshot.batch_size_histogram = batch_size_histogram_;
-  if (batches_ > 0) {
-    snapshot.mean_batch_size =
-        static_cast<double>(requests_) / static_cast<double>(batches_);
+  if (snapshot.batches > 0) {
+    snapshot.mean_batch_size = static_cast<double>(snapshot.requests) /
+                               static_cast<double>(snapshot.batches);
   }
-  std::vector<int64_t> sorted = latencies_us_;
-  std::sort(sorted.begin(), sorted.end());
-  snapshot.latency_p50_us = PercentileSorted(sorted, 50.0);
-  snapshot.latency_p95_us = PercentileSorted(sorted, 95.0);
-  snapshot.latency_p99_us = PercentileSorted(sorted, 99.0);
-  snapshot.latency_max_us = sorted.empty() ? 0 : sorted.back();
+  if (latency_count_ <= static_cast<int64_t>(exact_latency_cap_)) {
+    // Below the cap the exact sample is complete: nearest-rank percentiles,
+    // identical to the pre-migration unbounded accumulator.
+    std::vector<int64_t> sorted = latencies_us_;
+    std::sort(sorted.begin(), sorted.end());
+    snapshot.latency_p50_us = obs::PercentileSorted(sorted, 50.0);
+    snapshot.latency_p95_us = obs::PercentileSorted(sorted, 95.0);
+    snapshot.latency_p99_us = obs::PercentileSorted(sorted, 99.0);
+  } else {
+    // Past the cap: bucket-interpolated estimates from the histogram (which
+    // has seen every observation), clamped to the exact max.
+    for (auto [p, out] :
+         {std::pair<double, int64_t*>{50.0, &snapshot.latency_p50_us},
+          {95.0, &snapshot.latency_p95_us},
+          {99.0, &snapshot.latency_p99_us}}) {
+      int64_t est = static_cast<int64_t>(std::llround(latency_hist_->Percentile(p)));
+      *out = std::min(est, latency_max_us_);
+    }
+  }
+  snapshot.latency_max_us = latency_max_us_;
   return snapshot;
 }
 
 void ServingStats::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  requests_ = 0;
-  batches_ = 0;
+  requests_->Reset();
+  batches_->Reset();
+  latency_hist_->Reset();
+  batch_size_hist_->Reset();
   batch_size_histogram_.clear();
   latencies_us_.clear();
+  latency_count_ = 0;
+  latency_max_us_ = 0;
 }
 
 }  // namespace serve

@@ -1,13 +1,23 @@
 // Serving-side observability: request counters, batch-size histogram, and
 // latency percentiles, shared by the naive and micro-batched paths.
+//
+// Since the src/obs/ migration the accumulator is a thin facade over an
+// obs::MetricsRegistry: counts live in registry Counters, every latency is
+// observed into a registry Histogram (`<prefix>.latency_us`, the shared
+// DurationBucketsUs layout), and ExportPrometheus() exposes the whole
+// registry in text exposition format. StatsSnapshot and its values are
+// unchanged — the registry is an additional surface, not a replacement.
 #ifndef DAR_SERVE_STATS_H_
 #define DAR_SERVE_STATS_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace dar {
 namespace serve {
@@ -35,11 +45,30 @@ struct StatsSnapshot {
 
 /// Thread-safe statistics accumulator owned by an InferenceSession.
 ///
-/// Latencies are kept exactly (one int64 per request); at the traffic
-/// volumes the benches generate this is a few MB at most, and exact
-/// percentiles keep the serving numbers reproducible.
+/// Latency memory is bounded. The first `exact_latency_cap` latencies
+/// (default 1 << 16, = 512 KiB of int64) are kept exactly and percentiles
+/// are exact nearest-rank values — bit-for-bit what the unbounded
+/// pre-migration accumulator reported, which keeps the serving benches
+/// reproducible. Past the cap the exact sample stops growing and Snapshot()
+/// crosses over to the obs::Histogram estimator (bucket interpolation over
+/// the 1-2-5 duration buckets, which has seen *every* observation): O(1)
+/// memory from then on, percentiles within one bucket's resolution, and the
+/// reported max stays exact forever because it is tracked separately.
 class ServingStats {
  public:
+  /// Exact-latency default cap; see the class comment for the crossover.
+  static constexpr size_t kDefaultExactLatencyCap = size_t{1} << 16;
+
+  /// Self-contained accumulator backed by a private registry.
+  ServingStats() : ServingStats(nullptr) {}
+
+  /// Accumulator publishing into `registry` (not owned; pass nullptr for a
+  /// private one) under `<prefix>.`-named instruments. All instruments are
+  /// created up front; the registry pointer must outlive the stats object.
+  explicit ServingStats(obs::MetricsRegistry* registry,
+                        std::string prefix = "serve",
+                        size_t exact_latency_cap = kDefaultExactLatencyCap);
+
   /// Records one executed forward covering `batch_size` requests.
   void RecordBatch(int64_t batch_size);
 
@@ -53,12 +82,33 @@ class ServingStats {
 
   void Reset();
 
+  /// The registry the stats publish into (the private one by default).
+  obs::MetricsRegistry& registry() { return *registry_; }
+
+  /// Prometheus text exposition of the backing registry — what serve_demo
+  /// prints and the CI smoke job greps.
+  std::string ExportPrometheus() const { return registry_->ExportPrometheus(); }
+
  private:
+  void ObserveLatencyLocked(int64_t us);
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  size_t exact_latency_cap_;
+
+  // Cached instrument pointers (stable for the registry's lifetime).
+  obs::Counter* requests_;
+  obs::Counter* batches_;
+  obs::Histogram* latency_hist_;
+  obs::Histogram* batch_size_hist_;
+
   mutable std::mutex mu_;
-  int64_t requests_ = 0;
-  int64_t batches_ = 0;
   std::map<int64_t, int64_t> batch_size_histogram_;
+  /// Exact sample: grows until exact_latency_cap_, then freezes (the
+  /// histogram keeps absorbing everything).
   std::vector<int64_t> latencies_us_;
+  int64_t latency_count_ = 0;
+  int64_t latency_max_us_ = 0;
 };
 
 }  // namespace serve

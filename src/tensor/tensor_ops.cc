@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -165,6 +166,7 @@ Tensor Abs(const Tensor& a) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t m = a.size(0), k = a.size(1), n = b.size(1);
@@ -189,6 +191,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTA(const Tensor& a, const Tensor& b) {
+  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t k = a.size(0), m = a.size(1), n = b.size(1);
@@ -213,6 +216,7 @@ Tensor MatMulTA(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTB(const Tensor& a, const Tensor& b) {
+  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t m = a.size(0), k = a.size(1), n = b.size(0);
