@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "check/sentinel.h"
 #include "core/rnp.h"
 #include "serve/batcher.h"
 #include "serve/session.h"
@@ -206,6 +207,43 @@ int main(int argc, char** argv) {
                        : "");
   }
 
+  // Sentinel overhead: the same naive path re-measured at every sentinel
+  // mode. kOff is the shipping default — every hook (Tensor::Scratch,
+  // MakeOpResult, Backward) is one relaxed atomic load and a predictable
+  // branch, which the <= 2% gate below guards against regression. kRecord
+  // and kTrap scan every op output and every gradient, so their cost is
+  // reported for calibration, not gated.
+  struct SentinelArm {
+    const char* label;
+    check::SentinelMode mode;
+    double rps = 0.0;
+  };
+  std::vector<SentinelArm> sentinel_arms = {
+      {"off", check::SentinelMode::kOff},
+      {"record", check::SentinelMode::kRecord},
+      {"trap", check::SentinelMode::kTrap}};
+  for (SentinelArm& arm : sentinel_arms) {
+    check::SetSentinelMode(arm.mode);
+    for (int rep = 0; rep < 2; ++rep) {
+      session.stats().Reset();
+      arm.rps = std::max(arm.rps, MeasureNaive(session, requests));
+    }
+  }
+  check::SetSentinelMode(check::SentinelMode::kOff);
+  check::DrainSentinelFindings();  // serving an untrained model is finite
+  const double sentinel_off_overhead =
+      (levels[0].rps / sentinel_arms[0].rps - 1.0) * 100.0;
+  std::printf("\nsentinel overhead on the naive path (better of 2 reps,\n"
+              "baseline = trace-off arm above):\n");
+  for (const SentinelArm& arm : sentinel_arms) {
+    const double overhead = (levels[0].rps / arm.rps - 1.0) * 100.0;
+    std::printf("  %-8s %8.0f req/s (%+.2f%% overhead)%s\n", arm.label,
+                arm.rps, overhead,
+                arm.mode == check::SentinelMode::kOff
+                    ? (overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%")
+                    : "");
+  }
+
   bench::BenchJsonWriter json("serve_throughput", options);
   json.Field("requests", static_cast<int64_t>(num_requests));
   json.Field("naive_rps", naive_rps, 2);
@@ -215,6 +253,10 @@ int main(int argc, char** argv) {
   json.Field("span_overhead_coarse_rps", levels[1].rps, 2);
   json.Field("span_overhead_detailed_rps", levels[2].rps, 2);
   json.Field("span_overhead_coarse_pct", coarse_overhead, 2);
+  json.Field("sentinel_overhead_off_rps", sentinel_arms[0].rps, 2);
+  json.Field("sentinel_overhead_record_rps", sentinel_arms[1].rps, 2);
+  json.Field("sentinel_overhead_trap_rps", sentinel_arms[2].rps, 2);
+  json.Field("sentinel_overhead_off_pct", sentinel_off_overhead, 2);
   if (json.Write("BENCH_serve_throughput.json")) {
     std::printf("\nwrote BENCH_serve_throughput.json\n");
   }

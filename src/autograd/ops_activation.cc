@@ -12,10 +12,11 @@ namespace {
 /// Helper for unary ops whose gradient is a function of the *output* value
 /// (sigmoid, tanh, exp, sqrt) or of the *input* value (relu, abs, log).
 template <typename GradFn>
-Variable UnaryFromOutput(const Variable& a, Tensor out, GradFn grad_of_output) {
+Variable UnaryFromOutput(const char* op, const Variable& a, Tensor out,
+                         GradFn grad_of_output) {
   auto pa = a.node();
   auto pout = std::make_shared<Tensor>(out);
-  return MakeOpResult(std::move(out), {pa},
+  return MakeOpResult(op, std::move(out), {pa},
                       [pa, pout, grad_of_output](Node& n) {
                         Tensor g(n.grad.shape());
                         const float* pg = n.grad.data();
@@ -29,9 +30,10 @@ Variable UnaryFromOutput(const Variable& a, Tensor out, GradFn grad_of_output) {
 }
 
 template <typename GradFn>
-Variable UnaryFromInput(const Variable& a, Tensor out, GradFn grad_of_input) {
+Variable UnaryFromInput(const char* op, const Variable& a, Tensor out,
+                        GradFn grad_of_input) {
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa, grad_of_input](Node& n) {
+  return MakeOpResult(op, std::move(out), {pa}, [pa, grad_of_input](Node& n) {
     Tensor g(n.grad.shape());
     const float* pg = n.grad.data();
     const float* pi = pa->value.data();
@@ -46,38 +48,38 @@ Variable UnaryFromInput(const Variable& a, Tensor out, GradFn grad_of_input) {
 }  // namespace
 
 Variable Sigmoid(const Variable& a) {
-  return UnaryFromOutput(a, dar::Sigmoid(a.value()),
+  return UnaryFromOutput("sigmoid", a, dar::Sigmoid(a.value()),
                          [](float y) { return y * (1.0f - y); });
 }
 
 Variable Tanh(const Variable& a) {
-  return UnaryFromOutput(a, dar::Tanh(a.value()),
+  return UnaryFromOutput("tanh", a, dar::Tanh(a.value()),
                          [](float y) { return 1.0f - y * y; });
 }
 
 Variable Relu(const Variable& a) {
-  return UnaryFromInput(a, dar::Relu(a.value()),
+  return UnaryFromInput("relu", a, dar::Relu(a.value()),
                         [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Variable Exp(const Variable& a) {
-  return UnaryFromOutput(a, dar::Exp(a.value()), [](float y) { return y; });
+  return UnaryFromOutput("exp", a, dar::Exp(a.value()), [](float y) { return y; });
 }
 
 Variable Log(const Variable& a, float eps) {
-  return UnaryFromInput(a, dar::Log(a.value(), eps), [eps](float x) {
+  return UnaryFromInput("log", a, dar::Log(a.value(), eps), [eps](float x) {
     return 1.0f / (x > eps ? x : eps);
   });
 }
 
 Variable Abs(const Variable& a) {
-  return UnaryFromInput(a, dar::Abs(a.value()), [](float x) {
+  return UnaryFromInput("abs", a, dar::Abs(a.value()), [](float x) {
     return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
   });
 }
 
 Variable Sqrt(const Variable& a) {
-  return UnaryFromOutput(a, dar::Sqrt(a.value()), [](float y) {
+  return UnaryFromOutput("sqrt", a, dar::Sqrt(a.value()), [](float y) {
     return y > 1e-12f ? 0.5f / y : 0.0f;
   });
 }
@@ -88,14 +90,14 @@ Variable StraightThroughRound(const Variable& a) {
   // Straight-through estimator: the rounding is treated as identity in the
   // backward pass (Jang et al. 2017; used by RNP-style generators to emit
   // hard binary masks while keeping the game differentiable).
-  return MakeOpResult(std::move(out), {pa},
+  return MakeOpResult("straight_through_round", std::move(out), {pa},
                       [pa](Node& n) { pa->AccumulateGrad(n.grad); });
 }
 
 Variable GradientReversal(const Variable& a, float lambda) {
   Tensor out = a.value();
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa, lambda](Node& n) {
+  return MakeOpResult("gradient_reversal", std::move(out), {pa}, [pa, lambda](Node& n) {
     pa->AccumulateGrad(dar::MulScalar(n.grad, -lambda));
   });
 }

@@ -11,7 +11,7 @@ Variable Add(const Variable& a, const Variable& b) {
   Tensor out = dar::Add(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("add", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     if (pa->requires_grad) pa->AccumulateGrad(n.grad);
     if (pb->requires_grad) pb->AccumulateGrad(n.grad);
   });
@@ -21,7 +21,7 @@ Variable Sub(const Variable& a, const Variable& b) {
   Tensor out = dar::Sub(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("sub", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     if (pa->requires_grad) pa->AccumulateGrad(n.grad);
     if (pb->requires_grad) pb->AccumulateGrad(dar::Neg(n.grad));
   });
@@ -31,7 +31,7 @@ Variable Mul(const Variable& a, const Variable& b) {
   Tensor out = dar::Mul(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("mul", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     if (pa->requires_grad) pa->AccumulateGrad(dar::Mul(n.grad, pb->value));
     if (pb->requires_grad) pb->AccumulateGrad(dar::Mul(n.grad, pa->value));
   });
@@ -41,7 +41,7 @@ Variable Div(const Variable& a, const Variable& b) {
   Tensor out = dar::Div(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("div", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     if (pa->requires_grad) pa->AccumulateGrad(dar::Div(n.grad, pb->value));
     if (pb->requires_grad) {
       // d(a/b)/db = -a / b^2
@@ -55,7 +55,7 @@ Variable Div(const Variable& a, const Variable& b) {
 Variable Neg(const Variable& a) {
   Tensor out = dar::Neg(a.value());
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa](Node& n) {
+  return MakeOpResult("neg", std::move(out), {pa}, [pa](Node& n) {
     pa->AccumulateGrad(dar::Neg(n.grad));
   });
 }
@@ -63,14 +63,14 @@ Variable Neg(const Variable& a) {
 Variable AddScalar(const Variable& a, float s) {
   Tensor out = dar::AddScalar(a.value(), s);
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa},
+  return MakeOpResult("add_scalar", std::move(out), {pa},
                       [pa](Node& n) { pa->AccumulateGrad(n.grad); });
 }
 
 Variable MulScalar(const Variable& a, float s) {
   Tensor out = dar::MulScalar(a.value(), s);
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa, s](Node& n) {
+  return MakeOpResult("mul_scalar", std::move(out), {pa}, [pa, s](Node& n) {
     pa->AccumulateGrad(dar::MulScalar(n.grad, s));
   });
 }
@@ -79,7 +79,7 @@ Variable AddBias(const Variable& matrix, const Variable& bias) {
   Tensor out = dar::AddRowBroadcast(matrix.value(), bias.value());
   auto pm = matrix.node();
   auto pb = bias.node();
-  return MakeOpResult(std::move(out), {pm, pb}, [pm, pb](Node& n) {
+  return MakeOpResult("add_bias", std::move(out), {pm, pb}, [pm, pb](Node& n) {
     if (pm->requires_grad) pm->AccumulateGrad(n.grad);
     if (pb->requires_grad) pb->AccumulateGrad(dar::SumRows(n.grad));
   });
@@ -105,7 +105,7 @@ Variable ScaleLastDim(const Variable& x, const Variable& s) {
   }
   auto px_node = x.node();
   auto ps_node = s.node();
-  return MakeOpResult(
+  return MakeOpResult("scale_last_dim", 
       std::move(out), {px_node, ps_node}, [px_node, ps_node, b, t, e](Node& n) {
         const float* pg = n.grad.data();
         if (px_node->requires_grad) {
@@ -151,7 +151,7 @@ Variable ScaleRows(const Variable& x, const Variable& s) {
   }
   auto px_node = x.node();
   auto ps_node = s.node();
-  return MakeOpResult(
+  return MakeOpResult("scale_rows", 
       std::move(out), {px_node, ps_node}, [px_node, ps_node, m, c](Node& n) {
         const float* pg = n.grad.data();
         if (px_node->requires_grad) {

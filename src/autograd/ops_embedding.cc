@@ -33,7 +33,7 @@ Variable EmbeddingLookup(const Variable& table,
   }
   auto pn = table.node();
   auto saved_ids = std::make_shared<std::vector<std::vector<int64_t>>>(ids);
-  return MakeOpResult(std::move(out), {pn}, [pn, saved_ids, b, t, e](Node& n) {
+  return MakeOpResult("embedding_lookup", std::move(out), {pn}, [pn, saved_ids, b, t, e](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();

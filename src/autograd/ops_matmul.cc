@@ -10,7 +10,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
   Tensor out = dar::MatMul(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("matmul", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     // dA = dC * B^T ; dB = A^T * dC
     if (pa->requires_grad) pa->AccumulateGrad(dar::MatMulTB(n.grad, pb->value));
     if (pb->requires_grad) pb->AccumulateGrad(dar::MatMulTA(pa->value, n.grad));
@@ -21,7 +21,7 @@ Variable MatMulNT(const Variable& a, const Variable& b) {
   Tensor out = dar::MatMulTB(a.value(), b.value());
   auto pa = a.node();
   auto pb = b.node();
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb](Node& n) {
+  return MakeOpResult("matmul_nt", std::move(out), {pa, pb}, [pa, pb](Node& n) {
     // C = A B^T: dA = dC * B ; dB = dC^T * A.
     if (pa->requires_grad) pa->AccumulateGrad(dar::MatMul(n.grad, pb->value));
     if (pb->requires_grad) pb->AccumulateGrad(dar::MatMulTA(n.grad, pa->value));

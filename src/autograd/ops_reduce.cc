@@ -10,7 +10,7 @@ namespace ag {
 Variable Sum(const Variable& a) {
   Tensor out = Tensor::Scalar(SumAll(a.value()));
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa](Node& n) {
+  return MakeOpResult("sum", std::move(out), {pa}, [pa](Node& n) {
     float g = n.grad.item();
     pa->AccumulateGrad(Tensor(pa->value.shape(), g));
   });
@@ -21,7 +21,7 @@ Variable Mean(const Variable& a) {
   DAR_CHECK_GT(count, 0);
   Tensor out = Tensor::Scalar(MeanAll(a.value()));
   auto pa = a.node();
-  return MakeOpResult(std::move(out), {pa}, [pa, count](Node& n) {
+  return MakeOpResult("mean", std::move(out), {pa}, [pa, count](Node& n) {
     float g = n.grad.item() / static_cast<float>(count);
     pa->AccumulateGrad(Tensor(pa->value.shape(), g));
   });
@@ -44,7 +44,7 @@ Variable SumTime(const Variable& x) {
     }
   }
   auto pn = x.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, b, t, e](Node& n) {
+  return MakeOpResult("sum_time", std::move(out), {pn}, [pn, b, t, e](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();
@@ -74,7 +74,7 @@ Variable RowSum(const Variable& x) {
     }
   }
   auto pn = x.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, m, c](Node& n) {
+  return MakeOpResult("row_sum", std::move(out), {pn}, [pn, m, c](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();

@@ -11,7 +11,7 @@ Variable Reshape(const Variable& a, Shape shape) {
   Tensor out = a.value().Reshape(shape);
   auto pa = a.node();
   Shape original = a.value().shape();
-  return MakeOpResult(std::move(out), {pa}, [pa, original](Node& n) {
+  return MakeOpResult("reshape", std::move(out), {pa}, [pa, original](Node& n) {
     pa->AccumulateGrad(n.grad.Reshape(original));
   });
 }
@@ -22,7 +22,7 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   auto pb = b.node();
   int64_t na = a.value().size(1);
   int64_t nb = b.value().size(1);
-  return MakeOpResult(std::move(out), {pa, pb}, [pa, pb, na, nb](Node& n) {
+  return MakeOpResult("concat_cols", std::move(out), {pa, pb}, [pa, pb, na, nb](Node& n) {
     int64_t m = n.grad.size(0);
     const float* pg = n.grad.data();
     if (pa->requires_grad) {
@@ -60,7 +60,7 @@ Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
     }
   }
   auto pn = a.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, m, n_cols, start, len](Node& n) {
+  return MakeOpResult("slice_cols", std::move(out), {pn}, [pn, m, n_cols, start, len](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();
@@ -74,7 +74,7 @@ Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
 Variable SliceTimeOp(const Variable& x, int64_t t) {
   Tensor out = dar::SliceTime(x.value(), t);
   auto pn = x.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, t](Node& n) {
+  return MakeOpResult("slice_time", std::move(out), {pn}, [pn, t](Node& n) {
     Tensor g(pn->value.shape());
     SetTime(g, t, n.grad);
     pn->AccumulateGrad(g);
@@ -96,7 +96,7 @@ Variable StackTimeOp(const std::vector<Variable>& steps) {
     parents.push_back(steps[static_cast<size_t>(t)].node());
   }
   auto parents_copy = parents;
-  return MakeOpResult(std::move(out), std::move(parents),
+  return MakeOpResult("stack_time", std::move(out), std::move(parents),
                       [parents_copy, t_len](Node& n) {
                         for (int64_t t = 0; t < t_len; ++t) {
                           const auto& p = parents_copy[static_cast<size_t>(t)];
@@ -123,7 +123,7 @@ Variable TimeDiff(const Variable& x) {
     }
   }
   auto pn = x.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, b, t](Node& n) {
+  return MakeOpResult("time_diff", std::move(out), {pn}, [pn, b, t](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();
@@ -147,7 +147,7 @@ Variable SliceRows(const Variable& a, int64_t start, int64_t len) {
   std::copy(av.data() + start * n_cols, av.data() + (start + len) * n_cols,
             out.data());
   auto pn = a.node();
-  return MakeOpResult(std::move(out), {pn}, [pn, start, len, n_cols](Node& n) {
+  return MakeOpResult("slice_rows", std::move(out), {pn}, [pn, start, len, n_cols](Node& n) {
     Tensor g(pn->value.shape());
     std::copy(n.grad.data(), n.grad.data() + len * n_cols,
               g.data() + start * n_cols);
@@ -175,7 +175,7 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
     row += pv.size(0);
   }
   auto parents_copy = parents;
-  return MakeOpResult(std::move(out), std::move(parents),
+  return MakeOpResult("concat_rows", std::move(out), std::move(parents),
                       [parents_copy, n_cols](Node& n) {
                         int64_t r = 0;
                         for (const auto& p : parents_copy) {

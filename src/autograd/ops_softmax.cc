@@ -13,7 +13,7 @@ Variable SoftmaxRowsOp(const Variable& logits) {
   Tensor out = SoftmaxRows(logits.value());
   auto pn = logits.node();
   auto saved = std::make_shared<Tensor>(out);
-  return MakeOpResult(std::move(out), {pn}, [pn, saved](Node& n) {
+  return MakeOpResult("softmax_rows", std::move(out), {pn}, [pn, saved](Node& n) {
     // dL/dx_j = y_j * (g_j - sum_k g_k y_k) per row.
     int64_t m = saved->size(0), c = saved->size(1);
     Tensor g(saved->shape());
@@ -36,7 +36,7 @@ Variable LogSoftmaxRowsOp(const Variable& logits) {
   Tensor out = LogSoftmaxRows(logits.value());
   auto pn = logits.node();
   auto saved = std::make_shared<Tensor>(out);
-  return MakeOpResult(std::move(out), {pn}, [pn, saved](Node& n) {
+  return MakeOpResult("log_softmax_rows", std::move(out), {pn}, [pn, saved](Node& n) {
     // dL/dx_j = g_j - softmax_j * sum_k g_k per row.
     int64_t m = saved->size(0), c = saved->size(1);
     Tensor g(saved->shape());
@@ -68,7 +68,7 @@ Variable PickColumns(const Variable& x, const std::vector<int64_t>& index) {
   }
   auto pn = x.node();
   auto idx = std::make_shared<std::vector<int64_t>>(index);
-  return MakeOpResult(std::move(out), {pn}, [pn, idx, m, c](Node& n) {
+  return MakeOpResult("pick_columns", std::move(out), {pn}, [pn, idx, m, c](Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();

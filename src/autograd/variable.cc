@@ -3,17 +3,36 @@
 #include <unordered_set>
 #include <utility>
 
+#include "check/sentinel.h"
 #include "tensor/check.h"
 #include "tensor/tensor_ops.h"
 
 namespace dar {
 namespace ag {
 
+namespace {
+
+/// Claims `n` for the calling thread's tape token. Returns true when this
+/// call took the claim (and must release it); a foreign owner is reported
+/// as a tape violation. Only called with the sentinel enabled.
+bool ClaimTapeNode(Node* n, uint32_t token, const char* what) {
+  uint32_t expected = 0;
+  if (n->tape_owner.compare_exchange_strong(expected, token,
+                                            std::memory_order_acq_rel)) {
+    return true;
+  }
+  if (expected != token) check::ReportTapeViolation(what);
+  return false;
+}
+
+}  // namespace
+
 void Node::AccumulateGrad(const Tensor& g) {
   DAR_CHECK_MSG(g.shape() == value.shape(), "gradient shape mismatch");
   if (grad.numel() != value.numel() || grad.shape() != value.shape()) {
     grad = Tensor(value.shape());
   }
+  ++grad_visits;
   AddInPlace(grad, g);
 }
 
@@ -58,10 +77,24 @@ void Variable::ZeroGrad() {
   } else {
     node_->grad = Tensor(node_->value.shape());
   }
+  node_->grad_visits = 0;
 }
 
 void Variable::AccumulateGrad(const Tensor& g) {
   DAR_CHECK(defined());
+  if (check::SentinelEnabled()) {
+    // The cross-thread reduce primitive: assert that no other thread is
+    // concurrently accumulating into (or backpropagating through) this
+    // leaf, per the tape contract.
+    const uint32_t token = check::TapeOwnerToken();
+    const bool claimed =
+        ClaimTapeNode(node_.get(), token, "Variable::AccumulateGrad");
+    node_->AccumulateGrad(g);
+    if (claimed) {
+      node_->tape_owner.store(0, std::memory_order_release);
+    }
+    return;
+  }
   node_->AccumulateGrad(g);
 }
 
@@ -120,11 +153,33 @@ void Variable::Backward(const Tensor& seed) const {
   node_->AccumulateGrad(seed);
   std::vector<Node*> order;
   TopoSort(node_, order);
+  if (!check::SentinelEnabled()) {
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      Node* n = *it;
+      if (n->backward && n->grad.numel() == n->value.numel()) {
+        n->backward(*n);
+      }
+    }
+    return;
+  }
+  // Sentinel path: claim the whole tape before running any closure (a
+  // foreign claim means two threads share graph nodes — the contract
+  // violation), and scan every gradient flowing through for NaN/Inf.
+  const uint32_t token = check::TapeOwnerToken();
+  std::vector<Node*> claimed;
+  claimed.reserve(order.size());
+  for (Node* n : order) {
+    if (ClaimTapeNode(n, token, "Variable::Backward")) claimed.push_back(n);
+  }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
     if (n->backward && n->grad.numel() == n->value.numel()) {
+      check::ScanForNonFinite(n->op, "grad", n->grad.data(), n->grad.numel());
       n->backward(*n);
     }
+  }
+  for (Node* n : claimed) {
+    n->tape_owner.store(0, std::memory_order_release);
   }
 }
 
@@ -133,10 +188,16 @@ Variable Variable::Detach() const {
   return Variable::Constant(node_->value);
 }
 
-Variable MakeOpResult(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+Variable MakeOpResult(const char* op, Tensor value,
+                      std::vector<std::shared_ptr<Node>> parents,
                       std::function<void(Node&)> backward) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  node->op = op;
+  if (check::SentinelEnabled()) {
+    check::ScanForNonFinite(op, "value", node->value.data(),
+                            node->value.numel());
+  }
   bool any = false;
   for (const auto& p : parents) {
     DAR_CHECK(p != nullptr);

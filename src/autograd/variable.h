@@ -21,9 +21,16 @@
 // Backward() into the *same* leaf concurrently (AccumulateGrad is not
 // atomic) — reductions across threads must serialize, as the trainer's
 // gradient reduce does.
+//
+// This contract is mechanically enforced when the numerical sentinel
+// (check/sentinel.h) is enabled: Backward() claims every node it visits
+// with a per-thread ownership token and a claim that finds a foreign owner
+// reports a tape violation, as does a racing Variable::AccumulateGrad.
 #ifndef DAR_AUTOGRAD_VARIABLE_H_
 #define DAR_AUTOGRAD_VARIABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -44,6 +51,20 @@ struct Node {
 
   /// Whether gradients should flow to (and through) this node.
   bool requires_grad = false;
+
+  /// Static name of the op that produced this node ("leaf" for leaves).
+  /// Drives sentinel attribution (check/sentinel.h) and GraphAudit's
+  /// per-op gradient-norm breakdown. Must point at a string literal.
+  const char* op = "leaf";
+
+  /// AccumulateGrad calls into this node since construction (leaves: since
+  /// the last ZeroGrad). GraphAudit compares the count against the graph's
+  /// fan-in to detect a second Backward() without an intervening ZeroGrad.
+  int32_t grad_visits = 0;
+
+  /// Sentinel tape-ownership mark (0 = unclaimed). Only touched when the
+  /// sentinel is enabled; enforces the thread-safety contract above.
+  std::atomic<uint32_t> tape_owner{0};
 
   /// Parent nodes (inputs of the op that produced this node).
   std::vector<std::shared_ptr<Node>> parents;
@@ -128,12 +149,15 @@ class Variable {
   std::shared_ptr<Node> node_;
 };
 
-/// Builds a result node from an op: `value` is the forward result,
-/// `parents` the differentiable inputs, and `backward` the closure that
-/// pushes this node's gradient into the parents. The result requires grad
-/// iff any parent does; otherwise the closure is dropped and the graph is
-/// not retained (inference stays allocation-light).
-Variable MakeOpResult(Tensor value,
+/// Builds a result node from an op: `op` is the op's static name (string
+/// literal; recorded on the node for sentinel attribution and GraphAudit),
+/// `value` is the forward result, `parents` the differentiable inputs, and
+/// `backward` the closure that pushes this node's gradient into the
+/// parents. The result requires grad iff any parent does; otherwise the
+/// closure is dropped and the graph is not retained (inference stays
+/// allocation-light). When the numerical sentinel is enabled the forward
+/// value is scanned for NaN/Inf here, regardless of grad retention.
+Variable MakeOpResult(const char* op, Tensor value,
                       std::vector<std::shared_ptr<Node>> parents,
                       std::function<void(Node&)> backward);
 

@@ -1,0 +1,284 @@
+#include "check/graph_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/sentinel.h"
+#include "tensor/check.h"
+
+namespace dar {
+namespace check {
+
+namespace {
+
+/// Full-graph traversal from the root (through every parent edge,
+/// regardless of requires_grad): the set of nodes that exist on the tape.
+std::vector<ag::Node*> CollectAllNodes(const std::shared_ptr<ag::Node>& root) {
+  std::vector<ag::Node*> nodes;
+  std::unordered_set<ag::Node*> visited;
+  std::vector<ag::Node*> stack{root.get()};
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    ag::Node* n = stack.back();
+    stack.pop_back();
+    nodes.push_back(n);
+    for (const auto& p : n->parents) {
+      if (p && !visited.count(p.get())) {
+        visited.insert(p.get());
+        stack.push_back(p.get());
+      }
+    }
+  }
+  return nodes;
+}
+
+/// Differentiable-subgraph traversal mirroring Backward()'s TopoSort: the
+/// nodes gradients actually flow through. For each node, counts the parent
+/// edges a single backward pass pushes a gradient across (`fan_in`), which
+/// is the expected AccumulateGrad count — plus one on the root for the
+/// seed.
+void CollectGradReachable(const std::shared_ptr<ag::Node>& root,
+                          std::unordered_set<ag::Node*>& reachable,
+                          std::unordered_map<ag::Node*, int64_t>& fan_in) {
+  if (!root->requires_grad) return;
+  std::vector<ag::Node*> stack{root.get()};
+  reachable.insert(root.get());
+  fan_in[root.get()] += 1;  // Backward()'s seed accumulation.
+  while (!stack.empty()) {
+    ag::Node* n = stack.back();
+    stack.pop_back();
+    if (!n->backward) continue;
+    for (const auto& p : n->parents) {
+      if (!p || !p->requires_grad) continue;
+      // Closures push one gradient per differentiable parent slot
+      // (Mul(x, x) pushes twice into x).
+      fan_in[p.get()] += 1;
+      if (!reachable.count(p.get())) {
+        reachable.insert(p.get());
+        stack.push_back(p.get());
+      }
+    }
+  }
+}
+
+double SumSquares(const Tensor& t) {
+  double acc = 0.0;
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    acc += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+const char* IssueKindName(IssueKind kind) {
+  switch (kind) {
+    case IssueKind::kOrphanParam:
+      return "orphan_param";
+    case IssueKind::kMissingGrad:
+      return "missing_grad";
+    case IssueKind::kStaleGrad:
+      return "stale_grad";
+    case IssueKind::kDoubleAccumulation:
+      return "double_accumulation";
+    case IssueKind::kShapeMismatch:
+      return "shape_mismatch";
+    case IssueKind::kNonFinite:
+      return "non_finite";
+  }
+  return "unknown";
+}
+
+std::string AuditIssue::ToString() const {
+  std::string out = "[";
+  out += IssueKindName(kind);
+  out += "] ";
+  out += where;
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+std::string AuditReport::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "GraphAudit: %lld nodes, %lld params (%lld reachable, %lld "
+                "frozen), %s\n",
+                static_cast<long long>(nodes_visited),
+                static_cast<long long>(params_audited),
+                static_cast<long long>(params_reachable),
+                static_cast<long long>(params_frozen),
+                clean() ? "CLEAN" : "FINDINGS:");
+  out += buf;
+  for (const AuditIssue& issue : issues) {
+    out += "  " + issue.ToString() + "\n";
+  }
+  int64_t total = 0;
+  for (int64_t c : issue_counts) total += c;
+  if (total > static_cast<int64_t>(issues.size())) {
+    std::snprintf(buf, sizeof(buf), "  ... and %lld more finding(s)\n",
+                  static_cast<long long>(total -
+                                         static_cast<int64_t>(issues.size())));
+    out += buf;
+  }
+  if (!per_op.empty()) {
+    out += "  per-op gradient attribution (L2 of grads through each op):\n";
+    for (const OpGradStat& s : per_op) {
+      std::snprintf(buf, sizeof(buf),
+                    "    %-22s nodes=%-5lld grad_nodes=%-5lld |g|=%.4g\n",
+                    s.op.c_str(), static_cast<long long>(s.nodes),
+                    static_cast<long long>(s.grad_nodes), s.grad_norm);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void AuditReport::PublishMetrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix) const {
+  for (int k = 0; k < 6; ++k) {
+    if (issue_counts[k] > 0) {
+      reg.GetCounter(prefix + ".findings." +
+                     IssueKindName(static_cast<IssueKind>(k)))
+          .Increment(issue_counts[k]);
+    }
+  }
+  reg.GetGauge(prefix + ".nodes").Set(static_cast<double>(nodes_visited));
+  reg.GetGauge(prefix + ".params").Set(static_cast<double>(params_audited));
+  for (const OpGradStat& s : per_op) {
+    reg.GetGauge(prefix + ".grad_norm." + s.op).Set(s.grad_norm);
+  }
+}
+
+AuditReport AuditGraph(const ag::Variable& root,
+                       const std::vector<nn::NamedParameter>& params,
+                       const AuditOptions& options) {
+  DAR_CHECK_MSG(root.defined(), "AuditGraph on a null Variable");
+  AuditReport report;
+
+  auto add_issue = [&](IssueKind kind, std::string where, std::string detail) {
+    int64_t& count = report.issue_counts[static_cast<int>(kind)];
+    ++count;
+    if (count <= options.max_issues_per_kind) {
+      report.issues.push_back(
+          {kind, std::move(where), std::move(detail)});
+    }
+  };
+
+  const std::vector<ag::Node*> all_nodes = CollectAllNodes(root.node());
+  report.nodes_visited = static_cast<int64_t>(all_nodes.size());
+
+  std::unordered_set<ag::Node*> grad_reachable;
+  std::unordered_map<ag::Node*, int64_t> fan_in;
+  CollectGradReachable(root.node(), grad_reachable, fan_in);
+
+  // ---- Per-node tape checks and per-op attribution -------------------------
+  std::map<std::string, OpGradStat> per_op;
+  for (ag::Node* n : all_nodes) {
+    OpGradStat& stat = per_op[n->op];
+    stat.op = n->op;
+    ++stat.nodes;
+
+    const TensorStats value_stats =
+        ComputeStats(n->value.data(), n->value.numel());
+    if (!value_stats.all_finite()) {
+      add_issue(IssueKind::kNonFinite, n->op,
+                "value: " + value_stats.ToString());
+    }
+    if (n->grad.numel() > 0) {
+      if (n->grad.shape() != n->value.shape()) {
+        add_issue(IssueKind::kShapeMismatch, n->op,
+                  "grad shape " + ShapeToString(n->grad.shape()) +
+                      " vs value shape " + ShapeToString(n->value.shape()));
+      } else {
+        const TensorStats grad_stats =
+            ComputeStats(n->grad.data(), n->grad.numel());
+        if (!grad_stats.all_finite()) {
+          add_issue(IssueKind::kNonFinite, n->op,
+                    "grad: " + grad_stats.ToString());
+        }
+        ++stat.grad_nodes;
+        stat.grad_norm += SumSquares(n->grad);
+      }
+    }
+  }
+  for (auto& [op, stat] : per_op) {
+    stat.grad_norm = std::sqrt(stat.grad_norm);
+    report.per_op.push_back(stat);
+  }
+
+  // Did any gradient land anywhere? Distinguishes "backward never ran"
+  // from per-parameter findings when expect_gradients is set.
+  bool any_grad = false;
+  for (ag::Node* n : all_nodes) {
+    if (n->grad.numel() > 0) {
+      any_grad = true;
+      break;
+    }
+  }
+
+  // ---- Per-parameter checks ------------------------------------------------
+  std::unordered_set<ag::Node*> seen_params;
+  report.params_audited = static_cast<int64_t>(params.size());
+  for (const nn::NamedParameter& p : params) {
+    if (!p.variable.defined()) {
+      add_issue(IssueKind::kOrphanParam, p.name, "null Variable handle");
+      continue;
+    }
+    ag::Node* node = p.variable.node().get();
+    if (!seen_params.insert(node).second) continue;  // aliased handle
+    const bool reachable = grad_reachable.count(node) > 0;
+    const bool frozen = !node->requires_grad;
+    if (reachable) ++report.params_reachable;
+    if (frozen) ++report.params_frozen;
+
+    if (frozen) {
+      add_issue(IssueKind::kOrphanParam, p.name,
+                "requires_grad is off but the parameter is in the optimizer "
+                "list — it will silently never train");
+      continue;
+    }
+    if (!reachable) {
+      add_issue(IssueKind::kOrphanParam, p.name,
+                "not reachable from the loss through differentiable edges "
+                "(detached upstream?)");
+      if (p.variable.has_grad()) {
+        add_issue(IssueKind::kStaleGrad, p.name,
+                  "carries a gradient this graph cannot have produced "
+                  "(missing ZeroGrad?)");
+      }
+      continue;
+    }
+    if (options.expect_gradients && any_grad && !p.variable.has_grad()) {
+      add_issue(IssueKind::kMissingGrad, p.name,
+                "reachable from the loss but no gradient accumulated");
+      continue;
+    }
+    // Fan-in bound: a single backward accumulates exactly `fan_in` times
+    // into this leaf. More visits than that means a second Backward()
+    // without ZeroGrad (gradients silently doubled).
+    const int64_t expected = fan_in[node];
+    if (any_grad && node->grad_visits > expected) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%lld AccumulateGrad visit(s), graph fan-in is %lld — "
+                    "Backward() without intervening ZeroGrad?",
+                    static_cast<long long>(node->grad_visits),
+                    static_cast<long long>(expected));
+      add_issue(IssueKind::kDoubleAccumulation, p.name, buf);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace check
+}  // namespace dar

@@ -1,0 +1,134 @@
+// Autograd graph auditor.
+//
+// AuditGraph walks the recorded tape reachable from a loss Variable and
+// cross-checks it against the parameters the caller is about to optimize,
+// turning the classic silent gradient-flow pathologies of rationalization
+// training into structured, machine-readable findings:
+//
+//   kOrphanParam         — a parameter passed as trainable that can never
+//                          receive a gradient from this loss: either it is
+//                          not reachable through differentiable edges (the
+//                          frozen-predictor-leaks-into-generator bug class,
+//                          e.g. a Detach() upstream), or its requires_grad
+//                          flag was turned off while the optimizer still
+//                          holds it.
+//   kMissingGrad         — a reachable trainable parameter with no
+//                          accumulated gradient although the audit expects
+//                          Backward() to have run.
+//   kStaleGrad           — a parameter carrying a gradient the current
+//                          graph cannot have produced (unreachable but
+//                          has_grad): a forgotten ZeroGrad between steps.
+//   kDoubleAccumulation  — a parameter whose AccumulateGrad count exceeds
+//                          the graph's fan-in: Backward() ran twice without
+//                          an intervening ZeroGrad, silently doubling the
+//                          gradient.
+//   kShapeMismatch       — a node whose gradient buffer disagrees with its
+//                          value's shape (corrupted tape).
+//   kNonFinite           — NaN/Inf in a node's value or gradient, reported
+//                          with the producing op's name and tensor stats.
+//
+// The audit also attributes gradient mass per op kind (per-op L2 norms of
+// the gradients flowing through the tape) so a vanishing or exploding path
+// — e.g. the Gumbel-softmax chain of the alignment loss — is visible as
+// data rather than folklore. Findings are a report, not asserts: callers
+// decide whether to log, export to obs metrics, or fail CI (dar_check).
+#ifndef DAR_CHECK_GRAPH_AUDIT_H_
+#define DAR_CHECK_GRAPH_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "obs/metrics.h"
+
+namespace dar {
+namespace check {
+
+enum class IssueKind {
+  kOrphanParam,
+  kMissingGrad,
+  kStaleGrad,
+  kDoubleAccumulation,
+  kShapeMismatch,
+  kNonFinite,
+};
+
+const char* IssueKindName(IssueKind kind);
+
+struct AuditIssue {
+  IssueKind kind;
+  /// Parameter name or op name the issue anchors to.
+  std::string where;
+  /// Human-readable specifics (shapes, counts, stats).
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Gradient-mass attribution for one op kind across the audited tape.
+struct OpGradStat {
+  std::string op;
+  /// Nodes of this op kind reachable from the root.
+  int64_t nodes = 0;
+  /// Nodes of this kind that carry a gradient.
+  int64_t grad_nodes = 0;
+  /// L2 norm over all gradient elements of those nodes.
+  double grad_norm = 0.0;
+};
+
+struct AuditOptions {
+  /// When true (the default), the audit assumes Backward() has run on the
+  /// root and reports kMissingGrad for reachable trainable parameters
+  /// without gradients. Set false to audit a forward-only graph.
+  bool expect_gradients = true;
+  /// Issues stored per kind before further ones are only counted.
+  int64_t max_issues_per_kind = 16;
+};
+
+struct AuditReport {
+  std::vector<AuditIssue> issues;
+  /// Issues observed per kind, including ones past max_issues_per_kind.
+  int64_t issue_counts[6] = {0, 0, 0, 0, 0, 0};
+  std::vector<OpGradStat> per_op;
+
+  /// Tape summary. params_frozen counts audited parameters whose
+  /// requires_grad flag is off — each of those is also a kOrphanParam
+  /// finding, because the audit list is by contract the set the optimizer
+  /// steps (see AuditGraph below).
+  int64_t nodes_visited = 0;
+  int64_t params_audited = 0;
+  int64_t params_reachable = 0;
+  int64_t params_frozen = 0;
+
+  bool clean() const { return issues.empty(); }
+  int64_t count(IssueKind kind) const {
+    return issue_counts[static_cast<int>(kind)];
+  }
+
+  /// Multi-line human-readable rendering (findings first, then the per-op
+  /// gradient attribution table).
+  std::string ToString() const;
+
+  /// Publishes finding counts (`<prefix>.findings.<kind>` counters) and
+  /// per-op gradient norms (`<prefix>.grad_norm.<op>` gauges) into `reg`.
+  void PublishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "check") const;
+};
+
+/// Audits the tape reachable from `root` against `params` — by contract
+/// the parameters the optimizer is about to step (what Fit() hands to
+/// Adam). Do NOT include intentionally frozen modules (DAR's pretrained
+/// discriminator): a listed parameter that cannot receive gradients —
+/// detached upstream, or requires_grad turned off while the optimizer
+/// still holds it — is exactly the kOrphanParam defect. Call after
+/// Backward() for the full report (see AuditOptions).
+AuditReport AuditGraph(const ag::Variable& root,
+                       const std::vector<nn::NamedParameter>& params,
+                       const AuditOptions& options = {});
+
+}  // namespace check
+}  // namespace dar
+
+#endif  // DAR_CHECK_GRAPH_AUDIT_H_

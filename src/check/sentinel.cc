@@ -1,0 +1,165 @@
+#include "check/sentinel.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace dar {
+namespace check {
+
+namespace internal {
+std::atomic<int> g_sentinel_mode{static_cast<int>(SentinelMode::kOff)};
+std::atomic<bool> g_poison_scratch{false};
+}  // namespace internal
+
+namespace {
+
+std::mutex& FindingsMutex() {
+  static std::mutex& mu = *new std::mutex;
+  return mu;
+}
+
+std::vector<SentinelFinding>& Findings() {
+  static std::vector<SentinelFinding>& findings =
+      *new std::vector<SentinelFinding>;
+  return findings;
+}
+
+/// Findings past this cap are counted (obs counter) but not stored, so a
+/// NaN that contaminates a whole training step cannot balloon memory.
+constexpr size_t kMaxStoredFindings = 256;
+
+[[noreturn]] void TrapAbort(const std::string& rendered) {
+  std::fprintf(stderr, "DAR sentinel trap: %s\n", rendered.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Report(SentinelFinding finding) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("check.sentinel.nonfinite")
+      .Increment();
+  if (GetSentinelMode() == SentinelMode::kTrap) {
+    TrapAbort(finding.ToString());
+  }
+  std::lock_guard<std::mutex> lock(FindingsMutex());
+  if (Findings().size() < kMaxStoredFindings) {
+    Findings().push_back(std::move(finding));
+  }
+}
+
+}  // namespace
+
+void SetSentinelMode(SentinelMode mode) {
+  internal::g_sentinel_mode.store(static_cast<int>(mode),
+                                  std::memory_order_relaxed);
+}
+
+SentinelMode GetSentinelMode() {
+  return static_cast<SentinelMode>(
+      internal::g_sentinel_mode.load(std::memory_order_relaxed));
+}
+
+void SetPoisonScratch(bool enabled) {
+  internal::g_poison_scratch.store(enabled, std::memory_order_relaxed);
+}
+
+std::string TensorStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "numel=%lld nan=%lld inf=%lld finite=[%g, %g] mean=%g",
+                static_cast<long long>(numel),
+                static_cast<long long>(nan_count),
+                static_cast<long long>(inf_count),
+                static_cast<double>(finite_min),
+                static_cast<double>(finite_max),
+                static_cast<double>(finite_mean));
+  return buf;
+}
+
+TensorStats ComputeStats(const float* data, int64_t n) {
+  TensorStats stats;
+  stats.numel = n;
+  double sum = 0.0;
+  int64_t finite = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    if (std::isnan(v)) {
+      ++stats.nan_count;
+    } else if (std::isinf(v)) {
+      ++stats.inf_count;
+    } else {
+      if (finite == 0 || v < stats.finite_min) stats.finite_min = v;
+      if (finite == 0 || v > stats.finite_max) stats.finite_max = v;
+      sum += v;
+      ++finite;
+    }
+  }
+  if (finite > 0) stats.finite_mean = static_cast<float>(sum / finite);
+  return stats;
+}
+
+std::string SentinelFinding::ToString() const {
+  return "non-finite values in op '" + op + "' (" + where + "): " +
+         stats.ToString();
+}
+
+bool ScanForNonFinite(const char* op, const char* where, const float* data,
+                      int64_t n) {
+  // Cheap all-finite pre-scan: summing is branch-free and vectorizes; the
+  // full statistics pass only runs on dirty buffers.
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += data[i] * 0.0f;
+  if (acc == 0.0f) return true;
+  SentinelFinding finding;
+  finding.op = op;
+  finding.where = where;
+  finding.stats = ComputeStats(data, n);
+  Report(std::move(finding));
+  return false;
+}
+
+std::vector<SentinelFinding> DrainSentinelFindings() {
+  std::lock_guard<std::mutex> lock(FindingsMutex());
+  std::vector<SentinelFinding> out;
+  out.swap(Findings());
+  return out;
+}
+
+size_t SentinelFindingCount() {
+  std::lock_guard<std::mutex> lock(FindingsMutex());
+  return Findings().size();
+}
+
+uint32_t TapeOwnerToken() {
+  static std::atomic<uint32_t> next_token{1};
+  thread_local uint32_t token = next_token.fetch_add(1);
+  // fetch_add wraps after 2^32 threads; skip the reserved 0.
+  if (token == 0) token = next_token.fetch_add(1);
+  return token;
+}
+
+void ReportTapeViolation(const char* what) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("check.sentinel.tape_violation")
+      .Increment();
+  SentinelFinding finding;
+  finding.op = "tape";
+  finding.where = what;
+  if (GetSentinelMode() == SentinelMode::kTrap) {
+    TrapAbort("tape-ownership violation: " + std::string(what) +
+              " — concurrent Backward()/AccumulateGrad over shared nodes "
+              "(see the thread-safety contract in autograd/variable.h)");
+  }
+  std::lock_guard<std::mutex> lock(FindingsMutex());
+  if (Findings().size() < kMaxStoredFindings) {
+    Findings().push_back(std::move(finding));
+  }
+}
+
+}  // namespace check
+}  // namespace dar

@@ -85,7 +85,8 @@ ag::Variable SoftSentenceMask(
       std::make_shared<std::vector<std::vector<SentenceSpan>>>(sentences);
   float inv_tau = 1.0f / tau;
   return ag::MakeOpResult(
-      std::move(soft), {pn}, [pn, spans_copy, probs, b, inv_tau](ag::Node& n) {
+      "sentence_softmax", std::move(soft), {pn},
+      [pn, spans_copy, probs, b, inv_tau](ag::Node& n) {
         Tensor g(pn->value.shape());
         for (int64_t i = 0; i < b; ++i) {
           const std::vector<SentenceSpan>& spans =

@@ -56,7 +56,7 @@ ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
   auto pg_node = gain_.node();
   auto pb_node = bias_.node();
   return ag::MakeOpResult(
-      std::move(out), {px_node, pg_node, pb_node},
+      "layer_norm", std::move(out), {px_node, pg_node, pb_node},
       [px_node, pg_node, pb_node, xhat, inv_sigma, m, n](ag::Node& node) {
         const float* pdy = node.grad.data();
         const float* ph = xhat->data();

@@ -40,7 +40,8 @@ ag::Variable MaskedMaxPool(const ag::Variable& h, const Tensor& valid) {
     }
   }
   auto pn = h.node();
-  return ag::MakeOpResult(std::move(out), {pn}, [pn, argmax, b, t, d](ag::Node& n) {
+  return ag::MakeOpResult("masked_max_pool", std::move(out), {pn},
+                          [pn, argmax, b, t, d](ag::Node& n) {
     Tensor g(pn->value.shape());
     const float* pg = n.grad.data();
     float* pgo = g.data();

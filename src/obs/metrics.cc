@@ -118,6 +118,9 @@ double Histogram::Percentile(double p) const {
   int64_t total = 0;
   for (int64_t c : counts) total += c;
   if (total == 0) return 0.0;
+  // A single observation has no distribution to interpolate over: report
+  // it exactly (the tracked max) instead of a bucket-edge estimate.
+  if (total == 1) return max_.load(std::memory_order_relaxed);
   // Nearest-rank target, matching PercentileSorted on exact samples.
   double rank = p / 100.0 * static_cast<double>(total);
   int64_t target = static_cast<int64_t>(std::ceil(rank));

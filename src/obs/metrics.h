@@ -90,7 +90,10 @@ class Histogram {
 
   /// Percentile estimate by linear interpolation inside the bucket holding
   /// the nearest-rank sample; clamped to the exact observed max (so the
-  /// estimate never exceeds reality). Returns 0 for an empty histogram.
+  /// estimate never exceeds reality). Degenerate inputs have defined
+  /// values, by convention: an empty histogram returns 0 for every p (not
+  /// NaN, not an error), and a single-sample histogram returns that sample
+  /// exactly (the tracked max) rather than a bucket-edge estimate.
   double Percentile(double p) const;
 
   void Reset();

@@ -34,6 +34,9 @@ struct StatsSnapshot {
   double mean_batch_size = 0.0;
   /// End-to-end request latency percentiles in microseconds (enqueue to
   /// fulfillment for the batched path, call duration for the naive path).
+  /// Degenerate samples follow the obs::Histogram convention: all zeros
+  /// when nothing has been recorded, the exact single value when exactly
+  /// one latency has.
   int64_t latency_p50_us = 0;
   int64_t latency_p95_us = 0;
   int64_t latency_p99_us = 0;

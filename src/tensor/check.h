@@ -4,6 +4,21 @@
 // exceptions. Programming errors (shape mismatches, out-of-range indices,
 // broken invariants) abort the process with a diagnostic; recoverable
 // conditions are expressed through return values instead.
+//
+// Contract (identical in every build type):
+//
+//   * DAR_CHECK* evaluate their operands exactly once, in all build types.
+//     They are enabled in Debug and Release alike — the only difference a
+//     build type may observe is the check itself firing.
+//   * DAR_DCHECK* are compiled out in NDEBUG builds. In that case the
+//     condition is parsed and type-checked but NEVER evaluated, so a
+//     disabled check cannot change program behavior. Consequently the
+//     condition expressions passed to any DAR_*CHECK macro must be free of
+//     side effects (no `++`, no mutating calls): a side-effecting
+//     DAR_DCHECK would behave differently between Debug and Release, which
+//     this header's whole purpose is to rule out.
+//   * Failure diagnostics go to stderr and the process aborts; there is no
+//     recovery path and no exception.
 #ifndef DAR_TENSOR_CHECK_H_
 #define DAR_TENSOR_CHECK_H_
 
@@ -49,5 +64,32 @@ namespace internal {
 #define DAR_CHECK_LE(a, b) DAR_CHECK((a) <= (b))
 #define DAR_CHECK_GT(a, b) DAR_CHECK((a) > (b))
 #define DAR_CHECK_GE(a, b) DAR_CHECK((a) >= (b))
+
+/// Debug-only checks for invariants too hot to verify in Release (per-node
+/// autograd bookkeeping, inner-loop indices). Disabled form: the condition
+/// is placed in an unevaluated sizeof context — zero code is generated and
+/// the operands are guaranteed not to run, but the expression still has to
+/// compile, so a DAR_DCHECK cannot silently rot behind the NDEBUG fence.
+#ifdef NDEBUG
+#define DAR_DCHECK(cond) \
+  do {                   \
+    (void)sizeof(!(cond)); \
+  } while (0)
+#define DAR_DCHECK_MSG(cond, msg) \
+  do {                            \
+    (void)sizeof(!(cond));        \
+    (void)sizeof(msg);            \
+  } while (0)
+#else
+#define DAR_DCHECK(cond) DAR_CHECK(cond)
+#define DAR_DCHECK_MSG(cond, msg) DAR_CHECK_MSG(cond, msg)
+#endif
+
+#define DAR_DCHECK_EQ(a, b) DAR_DCHECK((a) == (b))
+#define DAR_DCHECK_NE(a, b) DAR_DCHECK((a) != (b))
+#define DAR_DCHECK_LT(a, b) DAR_DCHECK((a) < (b))
+#define DAR_DCHECK_LE(a, b) DAR_DCHECK((a) <= (b))
+#define DAR_DCHECK_GT(a, b) DAR_DCHECK((a) > (b))
+#define DAR_DCHECK_GE(a, b) DAR_DCHECK((a) >= (b))
 
 #endif  // DAR_TENSOR_CHECK_H_

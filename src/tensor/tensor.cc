@@ -1,9 +1,11 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <utility>
 
+#include "check/sentinel.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -47,6 +49,13 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Scratch(Shape shape) {
+  if (check::PoisonEnabled()) {
+    return Tensor(std::move(shape), std::numeric_limits<float>::quiet_NaN());
+  }
+  return Tensor(std::move(shape));
+}
 
 Tensor Tensor::Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
 

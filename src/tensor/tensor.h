@@ -56,6 +56,14 @@ class Tensor {
   /// All zeros.
   static Tensor Zeros(Shape shape);
 
+  /// Scratch buffer the caller promises to FULLY overwrite before any
+  /// element is read. Normally zero-initialized (identical to
+  /// Tensor(shape)); when the sentinel poison mode is on
+  /// (check::SetPoisonScratch) every element is NaN instead, so a kernel
+  /// that breaks the promise and reads an unwritten element produces a NaN
+  /// the op-level sentinels attribute instead of a silent zero.
+  static Tensor Scratch(Shape shape);
+
   /// All ones.
   static Tensor Ones(Shape shape);
 

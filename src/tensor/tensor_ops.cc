@@ -19,7 +19,8 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 template <typename Fn>
 Tensor Binary(const Tensor& a, const Tensor& b, Fn fn) {
   CheckSameShape(a, b);
-  Tensor out(a.shape());
+  // Every element is written below; Scratch poisons under the sentinel.
+  Tensor out = Tensor::Scratch(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -30,7 +31,7 @@ Tensor Binary(const Tensor& a, const Tensor& b, Fn fn) {
 
 template <typename Fn>
 Tensor Unary(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Scratch(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = a.numel();
@@ -132,7 +133,7 @@ inline float FastExp(float x) {
 }  // namespace
 
 Tensor Tanh(const Tensor& a) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Scratch(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = a.numel();
@@ -143,7 +144,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Scratch(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = a.numel();
@@ -355,7 +356,7 @@ Tensor LogSoftmaxRows(const Tensor& logits) {
 Tensor Transpose(const Tensor& a) {
   DAR_CHECK_EQ(a.dim(), 2);
   int64_t m = a.size(0), n = a.size(1);
-  Tensor out(Shape{n, m});
+  Tensor out = Tensor::Scratch(Shape{n, m});
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < m; ++i) {
@@ -369,7 +370,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   DAR_CHECK_EQ(b.dim(), 2);
   DAR_CHECK_EQ(a.size(0), b.size(0));
   int64_t m = a.size(0), na = a.size(1), nb = b.size(1);
-  Tensor out(Shape{m, na + nb});
+  Tensor out = Tensor::Scratch(Shape{m, na + nb});
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();

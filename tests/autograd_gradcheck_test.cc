@@ -11,7 +11,9 @@
 #include "autograd/ops.h"
 #include "core/regularizer.h"
 #include "core/train_config.h"
+#include "nn/attention.h"
 #include "nn/gumbel.h"
+#include "nn/layer_norm.h"
 #include "nn/loss.h"
 #include "tensor/random.h"
 
@@ -294,6 +296,60 @@ TEST(RationalizationGradCheck, CombinedRegularizerAtPaperWeights) {
   GradCheckResult r = CheckGradients(fn, {TestSelectionLogits()});
   EXPECT_TRUE(r.ok) << "combined regularizer: max error " << r.max_abs_error
                     << " at " << r.worst_location;
+}
+
+// ---------------------------------------------------------------------------
+// Module-level gradchecks: composite backward paths that chain many op
+// closures (the same idiom as GruTest.GradCheckThroughTime). The module is
+// built outside the function so only the data input is perturbed.
+
+TEST(ModuleGradCheck, MultiHeadAttentionBackward) {
+  Pcg32 rng(51);
+  nn::MultiHeadAttention attention(/*dim=*/4, /*num_heads=*/2, rng);
+  const Tensor valid = Tensor::Full(Shape{1, 3}, 1.0f);
+  Pcg32 data_rng(52);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        Variable y = attention.Forward(v[0], valid);
+        return Sum(Mul(y, y));
+      },
+      {Tensor::Randn({1, 3, 4}, data_rng, 0.5f)});
+  EXPECT_TRUE(r.ok) << "attention: max error " << r.max_abs_error << " at "
+                    << r.worst_location;
+}
+
+TEST(ModuleGradCheck, MultiHeadAttentionRespectsPaddingMask) {
+  // With a padded tail position the gradient must still match numerically:
+  // the masked softmax path (large negative scores) is part of the graph.
+  Pcg32 rng(53);
+  nn::MultiHeadAttention attention(/*dim=*/4, /*num_heads=*/2, rng);
+  Tensor valid = Tensor::Full(Shape{1, 4}, 1.0f);
+  valid.flat(3) = 0.0f;  // last position is padding
+  Pcg32 data_rng(54);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        Variable y = attention.Forward(v[0], valid);
+        return Sum(Mul(y, y));
+      },
+      {Tensor::Randn({1, 4, 4}, data_rng, 0.5f)});
+  EXPECT_TRUE(r.ok) << "masked attention: max error " << r.max_abs_error
+                    << " at " << r.worst_location;
+}
+
+TEST(ModuleGradCheck, LayerNormBackward) {
+  // The fused layer-norm backward (gain/bias affine over a normalized row)
+  // against central differences, through a non-linear head so the
+  // normalization Jacobian's off-diagonal terms matter.
+  nn::LayerNorm norm(/*dim=*/5);
+  Pcg32 data_rng(55);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        Variable y = norm.Forward(v[0]);
+        return Sum(Mul(y, Sigmoid(y)));
+      },
+      {Tensor::Randn({3, 5}, data_rng, 0.8f)});
+  EXPECT_TRUE(r.ok) << "layer_norm: max error " << r.max_abs_error << " at "
+                    << r.worst_location;
 }
 
 }  // namespace

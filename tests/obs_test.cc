@@ -82,6 +82,25 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(hist.max(), 0.0);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroForEveryP) {
+  // Convention (metrics.h): degenerate inputs have defined values. An
+  // empty histogram answers 0 for any percentile, never NaN.
+  obs::Histogram hist({10.0, 20.0});
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(hist.Percentile(p), 0.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, SingleSampleReportsItExactly) {
+  // A single observation must come back exactly — not as the upper edge
+  // of whatever bucket it landed in (13 would otherwise estimate as 20).
+  obs::Histogram hist({10.0, 20.0, 50.0});
+  hist.Observe(13.0);
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(p), 13.0) << "p=" << p;
+  }
+}
+
 TEST(HistogramTest, BucketEdgesAreInclusiveUppers) {
   obs::Histogram hist({10.0, 20.0});
   hist.Observe(10.0);  // exactly on the first edge -> first bucket
@@ -294,6 +313,38 @@ TEST_F(TraceTest, WorkerThreadSpansFlushOnThreadExit) {
 
 // ---------------------------------------------------------------------------
 // ServingStats migration.
+
+TEST(ServingStatsTest, EmptySnapshotIsAllZeros) {
+  // Degenerate-sample convention: a snapshot before any traffic is fully
+  // defined — zeros everywhere, no division by the empty sample.
+  serve::ServingStats stats;
+  serve::StatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.requests, 0);
+  EXPECT_EQ(snapshot.batches, 0);
+  EXPECT_DOUBLE_EQ(snapshot.mean_batch_size, 0.0);
+  EXPECT_EQ(snapshot.latency_p50_us, 0);
+  EXPECT_EQ(snapshot.latency_p95_us, 0);
+  EXPECT_EQ(snapshot.latency_p99_us, 0);
+  EXPECT_EQ(snapshot.latency_max_us, 0);
+}
+
+TEST(ServingStatsTest, SingleLatencyReportsItAtEveryPercentile) {
+  serve::ServingStats stats;
+  stats.RecordBatch(1);
+  stats.RecordLatencyUs(137);
+  serve::StatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.latency_p50_us, 137);
+  EXPECT_EQ(snapshot.latency_p95_us, 137);
+  EXPECT_EQ(snapshot.latency_p99_us, 137);
+  EXPECT_EQ(snapshot.latency_max_us, 137);
+  // The histogram estimator agrees exactly on a single sample (cap 0
+  // forces the estimator path even for the first observation).
+  serve::ServingStats capped(nullptr, "serve", /*exact_latency_cap=*/0);
+  capped.RecordLatencyUs(137);
+  serve::StatsSnapshot est = capped.Snapshot();
+  EXPECT_EQ(est.latency_p50_us, 137);
+  EXPECT_EQ(est.latency_p99_us, 137);
+}
 
 TEST(ServingStatsTest, CountsAndExactPercentilesBelowCap) {
   serve::ServingStats stats;
