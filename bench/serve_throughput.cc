@@ -7,6 +7,7 @@
 // requests/sec; the baseline serves the same requests sequentially through
 // InferenceSession::Predict. The table reports throughput, speedup over
 // the baseline, achieved mean batch size, and latency percentiles.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -15,7 +16,12 @@
 #include "bench/bench_common.h"
 #include "check/sentinel.h"
 #include "core/rnp.h"
+#include "net/client.h"
+#include "net/http.h"
+#include "net/routes.h"
+#include "net/server.h"
 #include "serve/batcher.h"
+#include "serve/registry.h"
 #include "serve/session.h"
 #include "serve/thread_pool.h"
 
@@ -244,6 +250,76 @@ int main(int argc, char** argv) {
                     : "");
   }
 
+  // HTTP loopback arm: the same request stream through the whole network
+  // front — parser, router, micro-batcher — over real loopback sockets
+  // with keep-alive clients. The gap to the best in-process batched arm is
+  // the cost of the HTTP layer itself (syscalls, framing, JSON).
+  double http_rps = 0.0;
+  {
+    // The router rebinds the session's stats under a {model=...} label;
+    // that is fine here because every in-process arm above has already
+    // been measured. Non-owning alias: the session outlives the registry.
+    std::shared_ptr<serve::InferenceSession> shared_session(
+        &session, [](serve::InferenceSession*) {});
+    serve::ModelRegistry registry;
+    net::RouterConfig router_config;
+    router_config.batcher = {.max_batch = 32,
+                             .max_wait_us = 200,
+                             .num_workers = 2,
+                             .max_queue = 256};
+    net::Router router(registry, router_config);
+    router.ServeModel("bench", shared_session);
+    net::ServerConfig server_config;
+    server_config.num_threads = 4;
+    net::HttpServer server(router.AsHandler(), server_config);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "http loopback arm skipped: %s\n", error.c_str());
+    } else {
+      std::vector<std::string> bodies;
+      bodies.reserve(requests.size());
+      for (const std::string& text : requests) {
+        bodies.push_back(
+            net::JsonValue::Object().Set("text", net::JsonValue::Str(text))
+                .Dump());
+      }
+      constexpr int kClients = 4;
+      for (int rep = 0; rep < 2; ++rep) {
+        std::atomic<size_t> failures{0};
+        auto start = std::chrono::steady_clock::now();
+        {
+          serve::ThreadPool clients(kClients);
+          for (int c = 0; c < kClients; ++c) {
+            clients.Submit([&, c] {
+              net::HttpClient client("127.0.0.1", server.port());
+              for (size_t i = static_cast<size_t>(c); i < bodies.size();
+                   i += kClients) {
+                auto response =
+                    client.Post("/v1/models/bench/predict", bodies[i]);
+                if (!response.has_value() || response->status != 200) {
+                  failures.fetch_add(1);
+                }
+              }
+            });
+          }
+          clients.Wait();
+        }
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (failures.load() != 0) {
+          std::fprintf(stderr, "http loopback arm: %zu failed requests\n",
+                       failures.load());
+        }
+        http_rps = std::max(
+            http_rps, static_cast<double>(requests.size()) / elapsed.count());
+      }
+      server.Stop();
+      std::printf("\nhttp loopback (%d keep-alive clients): %.0f req/s "
+                  "(%.1f%% of best in-process batched)\n",
+                  kClients, http_rps, 100.0 * http_rps / best_rps);
+    }
+  }
+
   bench::BenchJsonWriter json("serve_throughput", options);
   json.Field("requests", static_cast<int64_t>(num_requests));
   json.Field("naive_rps", naive_rps, 2);
@@ -257,6 +333,8 @@ int main(int argc, char** argv) {
   json.Field("sentinel_overhead_record_rps", sentinel_arms[1].rps, 2);
   json.Field("sentinel_overhead_trap_rps", sentinel_arms[2].rps, 2);
   json.Field("sentinel_overhead_off_pct", sentinel_off_overhead, 2);
+  json.Field("http_loopback_rps", http_rps, 2);
+  json.Field("http_loopback_fraction_of_best", http_rps / best_rps);
   if (json.Write("BENCH_serve_throughput.json")) {
     std::printf("\nwrote BENCH_serve_throughput.json\n");
   }

@@ -59,32 +59,13 @@ data::Batch FirstBatch() {
   return loader.Sequential()[0];
 }
 
-/// Names the optimizer's parameter list by matching Variable handles
-/// against the model's checkpoint modules. Unmatched handles (a method
-/// training a raw Variable outside any module) get positional names.
+/// The optimizer's parameter list with names resolved against the
+/// checkpoint modules — now a RationalizerBase method (Fit()'s
+/// audit_first_step pass shares it); kept as a local alias for the call
+/// sites below.
 std::vector<nn::NamedParameter> NamedTrainableParameters(
     core::RationalizerBase& model) {
-  std::unordered_map<const ag::Node*, std::string> names;
-  for (const nn::NamedModule& m : model.CheckpointModules()) {
-    if (m.module == nullptr) continue;
-    for (const nn::NamedParameter& p : m.module->Parameters()) {
-      names[p.variable.node().get()] = m.name + "/" + p.name;
-    }
-  }
-  std::vector<nn::NamedParameter> out;
-  int64_t index = 0;
-  for (const ag::Variable& v : model.TrainableParameters()) {
-    std::string name;
-    auto it = names.find(v.node().get());
-    if (it != names.end()) {
-      name = it->second;
-    } else {
-      name = "trainable[" + std::to_string(index) + "]";
-    }
-    out.push_back({std::move(name), v});
-    ++index;
-  }
-  return out;
+  return model.NamedTrainableParameters();
 }
 
 /// Clears gradients and visit counters on every checkpoint-module

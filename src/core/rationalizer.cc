@@ -1,5 +1,6 @@
 #include "core/rationalizer.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "nn/loss.h"
@@ -30,6 +31,27 @@ std::vector<ag::Variable> RationalizerBase::TrainableParameters() const {
     if (p.variable.requires_grad()) params.push_back(p.variable);
   }
   return params;
+}
+
+std::vector<nn::NamedParameter> RationalizerBase::NamedTrainableParameters() {
+  std::unordered_map<const ag::Node*, std::string> names;
+  for (const nn::NamedModule& m : CheckpointModules()) {
+    if (m.module == nullptr) continue;
+    for (const nn::NamedParameter& p : m.module->Parameters()) {
+      names[p.variable.node().get()] = m.name + "/" + p.name;
+    }
+  }
+  std::vector<nn::NamedParameter> out;
+  int64_t index = 0;
+  for (const ag::Variable& v : TrainableParameters()) {
+    auto it = names.find(v.node().get());
+    std::string name = it != names.end()
+                           ? it->second
+                           : "trainable[" + std::to_string(index) + "]";
+    out.push_back({std::move(name), v});
+    ++index;
+  }
+  return out;
 }
 
 void RationalizerBase::SetTraining(bool training) {

@@ -62,6 +62,14 @@ class RationalizerBase {
   /// Parameters updated by the optimizer. Default: generator + predictor.
   virtual std::vector<ag::Variable> TrainableParameters() const;
 
+  /// TrainableParameters() with human-readable names resolved by matching
+  /// Variable handles against the checkpoint modules
+  /// ("generator/gru.w_ih", ...); unmatched handles get positional names.
+  /// This is the parameter list the graph auditor wants (Fit()'s
+  /// audit_first_step pass and dar_check's model-zoo harness both use it).
+  /// Non-const because CheckpointModules() is.
+  std::vector<nn::NamedParameter> NamedTrainableParameters();
+
   /// Train/eval mode for all modules. Default: generator + predictor.
   virtual void SetTraining(bool training);
 

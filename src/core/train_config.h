@@ -61,6 +61,16 @@ struct TrainConfig {
   // Reproducibility.
   uint64_t seed = 42;
 
+  /// When true, Fit() runs the autograd graph auditor (check/graph_audit.h)
+  /// on the very first training step, right after the first Backward():
+  /// the optimizer's parameter list is cross-checked against the recorded
+  /// tape, and any finding — an orphaned (detached or frozen-but-optimized)
+  /// parameter, a missing/stale/doubled gradient, a shape mismatch, NaN/Inf
+  /// — prints the full report to stderr and aborts before the first
+  /// optimizer step can bake the defect into the weights. One audit on step
+  /// 0 only; the remaining steps run at full speed.
+  bool audit_first_step = false;
+
   /// Returns a copy with the sparsity target set to `alpha` (benches use
   /// this to match each dataset's human-annotation sparsity, as the paper
   /// does).

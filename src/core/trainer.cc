@@ -1,9 +1,12 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 
+#include "check/graph_audit.h"
 #include "core/parallel_trainer.h"
 #include "core/telemetry.h"
 #include "data/dataloader.h"
@@ -34,6 +37,23 @@ void RestoreValues(std::vector<ag::Variable>& params,
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].mutable_value() = values[i];
   }
+}
+
+/// TrainConfig::audit_first_step: cross-check the optimizer's parameter
+/// list against the recorded tape once, on step 0, right after the first
+/// Backward(). Any finding (orphaned parameter, missing/stale/doubled
+/// gradient, shape mismatch, NaN/Inf) aborts before the first optimizer
+/// step can bake the defect into the weights. Runs before gradient
+/// clipping so the audited gradients are exactly what Backward produced.
+void AuditFirstStepOrDie(RationalizerBase& model, const ag::Variable& loss) {
+  check::AuditReport report =
+      check::AuditGraph(loss, model.NamedTrainableParameters());
+  if (report.clean()) return;
+  std::fprintf(stderr,
+               "audit_first_step: training-graph audit of %s failed on "
+               "step 0:\n%s",
+               model.name().c_str(), report.ToString().c_str());
+  std::abort();
 }
 
 }  // namespace
@@ -75,6 +95,9 @@ TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
       adam.ZeroGrad();
       ag::Variable loss = model.TrainLoss(batch);
       loss.Backward();
+      if (config.audit_first_step && epoch == 0 && batches == 0) {
+        AuditFirstStepOrDie(model, loss);
+      }
       const float grad_norm = optim::ClipGradNorm(params, config.grad_clip);
       {
         obs::Span step_span("train.step");

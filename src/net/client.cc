@@ -1,0 +1,276 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dar {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(
+    const std::string& lowercase_name) const {
+  for (const auto& header : headers) {
+    if (header.first == lowercase_name) return &header.second;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  carry_.clear();
+}
+
+bool HttpClient::Connect() {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    error_ = "inet_pton('" + host_ + "'): not a numeric IPv4 address";
+    Disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "connect(" + host_ + ":" + std::to_string(port_) +
+             "): " + std::strerror(errno);
+    Disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool HttpClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms_);
+  while (sent < data.size()) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    int remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      error_ = "send timed out";
+      return false;
+    }
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready <= 0) continue;
+    ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("send(): ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<ClientResponse> HttpClient::Get(const std::string& target) {
+  return Request("GET", target);
+}
+
+std::optional<ClientResponse> HttpClient::Post(
+    const std::string& target, const std::string& body,
+    const std::string& content_type) {
+  return Request("POST", target, body, {{"Content-Type", content_type}});
+}
+
+std::optional<ClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const auto& header : headers) {
+    wire += header.first + ": " + header.second + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n" + body;
+
+  // One transparent retry on a fresh connection: a keep-alive peer may
+  // have closed between our requests (timeout, drain), which surfaces as
+  // a send error or an empty read on the reused socket.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = connected();
+    if (!reused && !Connect()) return std::nullopt;
+    ClientResponse response;
+    if (SendAll(wire) && ReadResponse(&response)) {
+      if (!response.keep_alive) Disconnect();
+      return response;
+    }
+    Disconnect();
+    if (!reused) break;  // a fresh connection failing is a real error
+  }
+  return std::nullopt;
+}
+
+bool HttpClient::ReadResponse(ClientResponse* out) {
+  // Accumulate until the header block is complete, then until the body is.
+  std::string buffer = std::move(carry_);
+  carry_.clear();
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms_);
+  size_t header_end = std::string::npos;
+  char chunk[8192];
+
+  auto find_header_end = [&]() {
+    size_t pos = buffer.find("\r\n\r\n");
+    if (pos != std::string::npos) return std::make_pair(pos, size_t{4});
+    pos = buffer.find("\n\n");
+    if (pos != std::string::npos) return std::make_pair(pos, size_t{2});
+    return std::make_pair(std::string::npos, size_t{0});
+  };
+
+  size_t separator = 0;
+  for (;;) {
+    auto found = find_header_end();
+    header_end = found.first;
+    separator = found.second;
+    if (header_end != std::string::npos) break;
+    int remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      error_ = "response headers timed out";
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      error_ = "connection closed before response headers";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("recv(): ") + std::strerror(errno);
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  // Status line: "HTTP/1.1 200 OK".
+  size_t line_end = buffer.find('\n');
+  std::string status_line = buffer.substr(0, line_end);
+  if (!status_line.empty() && status_line.back() == '\r') {
+    status_line.pop_back();
+  }
+  if (status_line.compare(0, 5, "HTTP/") != 0) {
+    error_ = "malformed status line: " + status_line;
+    return false;
+  }
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || sp1 + 4 > status_line.size()) {
+    error_ = "malformed status line: " + status_line;
+    return false;
+  }
+  out->status = std::atoi(status_line.c_str() + sp1 + 1);
+  if (out->status < 100 || out->status > 599) {
+    error_ = "implausible status in: " + status_line;
+    return false;
+  }
+  const bool http10 = status_line.compare(0, 9, "HTTP/1.0 ") == 0;
+  out->keep_alive = !http10;
+
+  // Headers.
+  size_t cursor = line_end + 1;
+  while (cursor < header_end + 1) {
+    size_t eol = buffer.find('\n', cursor);
+    std::string line = buffer.substr(cursor, eol - cursor);
+    cursor = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk in responses
+    out->headers.push_back(
+        {ToLower(Trim(line.substr(0, colon))), Trim(line.substr(colon + 1))});
+  }
+  if (const std::string* connection = out->FindHeader("connection")) {
+    std::string value = ToLower(*connection);
+    if (value.find("close") != std::string::npos) out->keep_alive = false;
+    if (value.find("keep-alive") != std::string::npos) out->keep_alive = true;
+  }
+
+  size_t content_length = 0;
+  if (const std::string* header = out->FindHeader("content-length")) {
+    content_length = static_cast<size_t>(std::strtoull(
+        header->c_str(), nullptr, 10));
+  }
+
+  size_t body_start = header_end + separator;
+  while (buffer.size() - body_start < content_length) {
+    int remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      error_ = "response body timed out";
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      error_ = "connection closed mid-body";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("recv(): ") + std::strerror(errno);
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  out->body = buffer.substr(body_start, content_length);
+  // Keep any pipelined bytes for the next response on this connection.
+  carry_ = buffer.substr(body_start + content_length);
+  return true;
+}
+
+}  // namespace net
+}  // namespace dar

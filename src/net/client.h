@@ -1,0 +1,84 @@
+// Minimal blocking HTTP/1.1 client for tests and the loopback bench.
+//
+// One HttpClient is one keep-alive connection to a numeric-IPv4 host. It
+// connects lazily, writes a serialized request, and parses status line +
+// headers + Content-Length body with its own small response parser (the
+// HttpParser in net/http.h is request-grammar only). Not thread-safe; use
+// one client per thread — the concurrency tests do exactly that.
+#ifndef DAR_NET_CLIENT_H_
+#define DAR_NET_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http.h"
+
+namespace dar {
+namespace net {
+
+/// A parsed response: status + lowercased headers + body.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Whether the server allows this connection to be reused.
+  bool keep_alive = true;
+
+  const std::string* FindHeader(const std::string& lowercase_name) const;
+};
+
+class HttpClient {
+ public:
+  /// `host` must be a numeric IPv4 address (the serving stack binds
+  /// loopback by default). No connection is made until the first request.
+  HttpClient(std::string host, int port, int timeout_ms = 5000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request and reads the response, reconnecting first if the
+  /// connection is gone (fresh, or closed by the server after a
+  /// Connection: close response). nullopt + error() on socket failure,
+  /// timeout, or unparsable response.
+  std::optional<ClientResponse> Get(const std::string& target);
+  std::optional<ClientResponse> Post(const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type =
+                                         "application/json");
+
+  /// Generic form used by Get/Post.
+  std::optional<ClientResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Human-readable detail for the last nullopt return.
+  const std::string& error() const { return error_; }
+
+  /// True while the keep-alive connection is up.
+  bool connected() const { return fd_ >= 0; }
+
+  /// Drops the connection (the next request reconnects).
+  void Disconnect();
+
+ private:
+  bool Connect();
+  bool SendAll(const std::string& data);
+  /// Reads and parses one response into `out`. False + error_ on failure.
+  bool ReadResponse(ClientResponse* out);
+
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string error_;
+  std::string carry_;  // bytes read past the previous response
+};
+
+}  // namespace net
+}  // namespace dar
+
+#endif  // DAR_NET_CLIENT_H_

@@ -1,0 +1,750 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dar {
+namespace net {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// RFC 7230 token characters — legal in methods and header names.
+bool IsTokenChar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+/// A Connection header is a comma-separated token list; matching is
+/// case-insensitive ("Keep-Alive, Upgrade" contains "keep-alive").
+bool ConnectionHas(const std::string& value, const std::string& token) {
+  std::string lower = ToLower(value);
+  size_t pos = 0;
+  while (pos <= lower.size()) {
+    size_t comma = lower.find(',', pos);
+    if (comma == std::string::npos) comma = lower.size();
+    if (Trim(lower.substr(pos, comma - pos)) == token) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::Path() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "HTTP/1.1 %d %s\r\n", response.status,
+                StatusReason(response.status));
+  out += buf;
+  out += "Content-Type: " + response.content_type + "\r\n";
+  std::snprintf(buf, sizeof(buf), "Content-Length: %zu\r\n",
+                response.body.size());
+  out += buf;
+  out += response.keep_alive ? "Connection: keep-alive\r\n"
+                             : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  request_ = HttpRequest();
+  line_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  error_status_ = 0;
+  error_detail_.clear();
+}
+
+void HttpParser::Fail(int status, const std::string& detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = detail;
+}
+
+size_t HttpParser::Feed(const char* data, size_t size) {
+  size_t i = 0;
+  while (i < size && state_ != State::kComplete && state_ != State::kError) {
+    if (state_ == State::kBody) {
+      size_t take = std::min(body_remaining_, size - i);
+      request_.body.append(data + i, take);
+      body_remaining_ -= take;
+      i += take;
+      if (body_remaining_ == 0) state_ = State::kComplete;
+      continue;
+    }
+
+    char c = data[i++];
+    if (c != '\n') {
+      line_ += c;
+      // Enforce line limits while accumulating so a request with no line
+      // break ever cannot grow the buffer without bound.
+      if (state_ == State::kRequestLine &&
+          line_.size() > limits_.max_request_line) {
+        Fail(414, "request line exceeds " +
+                      std::to_string(limits_.max_request_line) + " bytes");
+      } else if (state_ == State::kHeaders &&
+                 header_bytes_ + line_.size() > limits_.max_header_bytes) {
+        Fail(431, "header block exceeds " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      continue;
+    }
+    // End of line; tolerate CRLF and bare LF.
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    std::string line;
+    line.swap(line_);
+    if (state_ == State::kRequestLine) {
+      // Ignore blank line(s) before the request line (robustness note in
+      // RFC 7230 §3.5 for clients that over-send CRLF after a body).
+      if (line.empty()) continue;
+      ParseRequestLine(line);
+    } else {  // kHeaders
+      header_bytes_ += line.size() + 2;
+      if (line.empty()) {
+        FinishHeaders();
+      } else {
+        ParseHeaderLine(line);
+      }
+    }
+  }
+  return i;
+}
+
+void HttpParser::ParseRequestLine(const std::string& line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = line.substr(sp2 + 1);
+  if (!IsToken(request_.method)) {
+    Fail(400, "malformed method token");
+    return;
+  }
+  if (request_.target.empty() ||
+      (request_.target[0] != '/' && request_.target != "*")) {
+    Fail(400, "request target must be origin-form");
+    return;
+  }
+  for (char c : request_.target) {
+    if (static_cast<unsigned char>(c) <= 0x20 ||
+        static_cast<unsigned char>(c) == 0x7f) {
+      Fail(400, "control byte in request target");
+      return;
+    }
+  }
+  if (request_.version == "HTTP/1.1") {
+    request_.keep_alive = true;
+  } else if (request_.version == "HTTP/1.0") {
+    request_.keep_alive = false;
+  } else {
+    Fail(505, "unsupported version '" + request_.version + "'");
+    return;
+  }
+  state_ = State::kHeaders;
+}
+
+void HttpParser::ParseHeaderLine(const std::string& line) {
+  if (static_cast<int64_t>(request_.headers.size()) >=
+      static_cast<int64_t>(limits_.max_headers)) {
+    Fail(431, "more than " + std::to_string(limits_.max_headers) +
+                  " header fields");
+    return;
+  }
+  if (line[0] == ' ' || line[0] == '\t') {
+    // Obsolete line folding — deprecated, and a classic smuggling vector.
+    Fail(400, "obsolete header line folding");
+    return;
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    Fail(400, "header line without ':'");
+    return;
+  }
+  std::string name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Covers whitespace before the colon (response-splitting vector).
+    Fail(400, "malformed header name");
+    return;
+  }
+  std::string value = Trim(line.substr(colon + 1));
+  for (char c : value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') {
+      Fail(400, "control byte in header value");
+      return;
+    }
+  }
+  request_.headers.emplace_back(ToLower(name), std::move(value));
+}
+
+void HttpParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    Fail(501, "transfer-encoding not supported (use Content-Length)");
+    return;
+  }
+
+  const std::string* connection = request_.FindHeader("connection");
+  if (connection != nullptr) {
+    if (ConnectionHas(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (ConnectionHas(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+
+  // Content-Length: all occurrences (and comma-separated members) must
+  // agree, digits only, within the body limit.
+  std::string length_value;
+  for (const auto& [name, value] : request_.headers) {
+    if (name != "content-length") continue;
+    size_t pos = 0;
+    while (pos <= value.size()) {
+      size_t comma = value.find(',', pos);
+      if (comma == std::string::npos) comma = value.size();
+      std::string member = Trim(value.substr(pos, comma - pos));
+      if (length_value.empty()) {
+        length_value = member;
+      } else if (member != length_value) {
+        Fail(400, "conflicting Content-Length values");
+        return;
+      }
+      pos = comma + 1;
+    }
+  }
+  if (length_value.empty()) {
+    if (request_.FindHeader("content-length") != nullptr) {
+      Fail(400, "empty Content-Length");
+      return;
+    }
+    state_ = State::kComplete;  // no body
+    return;
+  }
+  if (length_value.size() > 18 ||
+      !std::all_of(length_value.begin(), length_value.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    Fail(400, "malformed Content-Length '" + length_value + "'");
+    return;
+  }
+  uint64_t length = std::strtoull(length_value.c_str(), nullptr, 10);
+  if (length > limits_.max_body_bytes) {
+    Fail(413, "body of " + length_value + " bytes exceeds limit of " +
+                  std::to_string(limits_.max_body_bytes));
+    return;
+  }
+  body_remaining_ = static_cast<size_t>(length);
+  request_.body.reserve(body_remaining_);
+  state_ = body_remaining_ == 0 ? State::kComplete : State::kBody;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue value;
+  value.type = Type::kBool;
+  value.bool_value = v;
+  return value;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue value;
+  value.type = Type::kNumber;
+  value.number_value = v;
+  return value;
+}
+
+JsonValue JsonValue::Int(int64_t v) {
+  return Number(static_cast<double>(v));
+}
+
+JsonValue JsonValue::Str(std::string v) {
+  JsonValue value;
+  value.type = Type::kString;
+  value.string_value = std::move(v);
+  return value;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue value;
+  value.type = Type::kArray;
+  return value;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue value;
+  value.type = Type::kObject;
+  return value;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  members.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  items.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, std::string& out) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.bool_value ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      double d = v.number_value;
+      if (!std::isfinite(d)) {
+        out += "null";
+        break;
+      }
+      char buf[40];
+      // Integral values print exactly (labels, counts, span indices);
+      // %.9g round-trips any float32 widened to double, the predict
+      // response's bit-identical contract.
+      if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", d);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += JsonEscape(v.string_value);
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) out += ',';
+        first = false;
+        DumpTo(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += JsonEscape(key);
+        out += "\":";
+        DumpTo(value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent JSON parser over a string view (pos-based).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    JsonValue value;
+    if (!ParseValue(value, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing characters after JSON value";
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(const char* literal) {
+    size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Fail(std::string("invalid literal (expected '") + literal + "')");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        out = JsonValue::Null();
+        return ParseLiteral("null");
+      case 't':
+        out = JsonValue::Bool(true);
+        return ParseLiteral("true");
+      case 'f':
+        out = JsonValue::Bool(false);
+        return ParseLiteral("false");
+      case '"':
+        out = JsonValue::Str("");
+        return ParseString(out.string_value);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == int_start) {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    // JSON forbids leading zeros ("007").
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      pos_ = start;
+      return Fail("number with leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) {
+        pos_ = start;
+        return Fail("number with empty fraction");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) {
+        pos_ = start;
+        return Fail("number with empty exponent");
+      }
+    }
+    out = JsonValue::Number(
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr));
+    return true;
+  }
+
+  bool ParseHex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape digit");
+      }
+    }
+    return true;
+  }
+
+  void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    for (;;) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control byte in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            if (!ParseHex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue item;
+      if (!ParseValue(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text,
+                                          std::string* error) {
+  return JsonParser(text).Parse(error);
+}
+
+}  // namespace net
+}  // namespace dar

@@ -1,0 +1,190 @@
+// HTTP/1.1 wire format: incremental request parser, response serializer,
+// and a minimal JSON reader/writer for the serving payloads.
+//
+// This header is the dependency-free bottom of src/net/ — C++ standard
+// library only, no sockets — so the parser can be unit-tested byte by byte
+// against a malformed-request corpus without ever opening a connection.
+// The server (net/server.h) feeds it whatever recv() returns; the parser
+// consumes bytes until exactly one request is complete (pipelined bytes
+// stay unconsumed) and classifies every malformation as the 4xx/5xx status
+// the connection should answer with before closing.
+//
+// Scope, by design: HTTP/1.1 and 1.0, Content-Length bodies only (chunked
+// transfer encoding is rejected as 501), no multipart, no compression.
+// That covers every client of the serving API — curl, the blocking client
+// in net/client.h, and load generators — while keeping the attack surface
+// a few hundred audited lines. Strict limits on request-line, header, and
+// body sizes are enforced *during* parsing, so an oversized request fails
+// fast without buffering unbounded input.
+#ifndef DAR_NET_HTTP_H_
+#define DAR_NET_HTTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dar {
+namespace net {
+
+/// One parsed request. Header names are lowercased during parsing (HTTP
+/// header names are case-insensitive); values keep their case with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (token, upper/lower preserved)
+  std::string target;   // request-target as sent, e.g. "/v1/models?x=1"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  bool keep_alive = true;
+
+  /// First header with this (lowercase) name, or nullptr.
+  const std::string* FindHeader(const std::string& lowercase_name) const;
+
+  /// `target` with any "?query" stripped — what routing matches on.
+  std::string Path() const;
+};
+
+/// One response to serialize. Content-Length and Connection headers are
+/// emitted from `body`/`keep_alive`; anything else goes in extra_headers.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool keep_alive = true;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+const char* StatusReason(int status);
+
+/// Serializes status line + headers + body, CRLF line endings throughout.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Hard parser limits; exceeding one fails the request with the mapped
+/// status (414 request line, 431 headers, 413 body) instead of buffering.
+struct HttpLimits {
+  size_t max_request_line = 4096;
+  size_t max_header_bytes = 16384;  // total header block, names + values
+  size_t max_headers = 64;
+  size_t max_body_bytes = size_t{1} << 20;  // 1 MiB
+};
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed() accepts arbitrary byte chunks (a byte at a time is fine) and
+/// transitions kRequestLine -> kHeaders -> kBody -> kComplete, or to
+/// kError with the response status the connection should send. Line
+/// endings may be CRLF or bare LF (lenient receive, strict send). After a
+/// complete request is consumed, Reset() readies the parser for the next
+/// request on a keep-alive connection.
+class HttpParser {
+ public:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  /// Consumes up to `size` bytes; stops at the end of one complete request
+  /// or at the first error. Returns the number of bytes consumed —
+  /// anything unconsumed is the start of a pipelined next request (or
+  /// garbage after an error) and belongs to the caller.
+  size_t Feed(const char* data, size_t size);
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  /// True while no byte of the current request has been consumed — an
+  /// idle keep-alive connection rather than a half-received request.
+  bool idle() const { return state_ == State::kRequestLine && line_.empty(); }
+
+  /// Response status for a failed parse (400/405/413/414/431/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// The parsed request; valid once done().
+  const HttpRequest& request() const { return request_; }
+
+  /// Forgets the current request and starts parsing the next one. Limits
+  /// are retained.
+  void Reset();
+
+ private:
+  void Fail(int status, const std::string& detail);
+  void ParseRequestLine(const std::string& line);
+  void ParseHeaderLine(const std::string& line);
+  /// Validates Content-Length / Transfer-Encoding / Connection once the
+  /// blank line ends the header block.
+  void FinishHeaders();
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  HttpRequest request_;
+  std::string line_;         // current line being accumulated
+  size_t header_bytes_ = 0;  // running header-block size
+  size_t body_remaining_ = 0;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed/buildable JSON value. Object member order is preserved (the
+/// serving responses are stable byte-for-byte); duplicate keys are kept as
+/// sent, Find returns the first.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  static JsonValue Null();
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Str(std::string v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Objects: first member named `key`, or nullptr (also nullptr when this
+  /// value is not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Objects: appends a member. Returns *this for chaining.
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Arrays: appends an item. Returns *this for chaining.
+  JsonValue& Push(JsonValue value);
+
+  /// Compact serialization (no whitespace). Numbers that hold integral
+  /// values print as integers; others as shortest-ish %.9g, which
+  /// round-trips any float32 exactly — the predict endpoint's bit-identical
+  /// guarantee rides on this. Non-finite numbers serialize as null.
+  std::string Dump() const;
+
+  /// Strict JSON parse of the whole string (trailing garbage is an error).
+  /// Nesting depth is capped at 64. nullopt + `error` detail on failure.
+  static std::optional<JsonValue> Parse(const std::string& text,
+                                        std::string* error = nullptr);
+};
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace net
+}  // namespace dar
+
+#endif  // DAR_NET_HTTP_H_

@@ -1,0 +1,249 @@
+#include "net/routes.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace net {
+
+namespace {
+
+/// Latency buckets for http.request_latency_us, microseconds. Spans the
+/// sub-millisecond /healthz hits through multi-second saturated predicts.
+const std::vector<double> kLatencyBoundsUs = {
+    100,    250,    500,     1000,    2500,    5000,    10000,
+    25000,  50000,  100000,  250000,  500000,  1000000, 2500000};
+
+HttpResponse JsonResponse(int status, const JsonValue& value) {
+  HttpResponse response;
+  response.status = status;
+  response.body = value.Dump();
+  return response;
+}
+
+HttpResponse JsonError(int status, const std::string& detail) {
+  return JsonResponse(status, JsonValue::Object()
+                                  .Set("error", JsonValue::Str(
+                                                    StatusReason(status)))
+                                  .Set("detail", JsonValue::Str(detail)));
+}
+
+HttpResponse MethodNotAllowed(const std::string& allow) {
+  HttpResponse response =
+      JsonError(405, "method not allowed; see the Allow header");
+  response.extra_headers.push_back({"Allow", allow});
+  return response;
+}
+
+/// Splits "/v1/models/<name>/predict" -> <name>; empty when the path is
+/// not of that shape. Model names may contain any byte except '/'.
+std::string PredictModelName(const std::string& path) {
+  const std::string prefix = "/v1/models/";
+  const std::string suffix = "/predict";
+  if (path.size() <= prefix.size() + suffix.size()) return "";
+  if (path.compare(0, prefix.size(), prefix) != 0) return "";
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return "";
+  }
+  std::string name = path.substr(
+      prefix.size(), path.size() - prefix.size() - suffix.size());
+  if (name.find('/') != std::string::npos) return "";
+  return name;
+}
+
+JsonValue ResultToJson(const std::string& model,
+                       const serve::InferenceResult& result) {
+  JsonValue probs = JsonValue::Array();
+  for (float p : result.probs) probs.Push(JsonValue::Number(p));
+  JsonValue tokens = JsonValue::Array();
+  for (const auto& t : result.tokens) tokens.Push(JsonValue::Str(t));
+  JsonValue mask = JsonValue::Array();
+  for (uint8_t m : result.mask) mask.Push(JsonValue::Int(m));
+  JsonValue spans = JsonValue::Array();
+  for (const auto& span : result.spans) {
+    spans.Push(JsonValue::Object()
+                   .Set("begin", JsonValue::Int(span.begin))
+                   .Set("end", JsonValue::Int(span.end)));
+  }
+  return JsonValue::Object()
+      .Set("model", JsonValue::Str(model))
+      .Set("label", JsonValue::Int(result.label))
+      .Set("confidence", JsonValue::Number(result.confidence))
+      .Set("probs", std::move(probs))
+      .Set("tokens", std::move(tokens))
+      .Set("rationale", JsonValue::Object()
+                            .Set("mask", std::move(mask))
+                            .Set("spans", std::move(spans))
+                            .Set("text", JsonValue::Str(
+                                             result.rationale_text)));
+}
+
+}  // namespace
+
+Router::Router(serve::ModelRegistry& registry, RouterConfig config)
+    : registry_(&registry), config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  registry_->PublishMetrics(metrics_);
+}
+
+Router::~Router() {
+  // Endpoints (and their batchers) drain in the map's destructor; nothing
+  // else references them once the server feeding Handle() has stopped.
+}
+
+void Router::ServeModel(const std::string& name,
+                        std::shared_ptr<serve::InferenceSession> session) {
+  DAR_CHECK(session != nullptr);
+  // Register first: this rebinds the session's stats under {model=name}
+  // before any request can reach it through the endpoint map.
+  registry_->Register(name, session);
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->session = session;
+  endpoint->batcher =
+      std::make_unique<serve::MicroBatcher>(*session, config_.batcher);
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[name] = std::move(endpoint);  // old endpoint freed by last user
+}
+
+std::shared_ptr<Router::Endpoint> Router::FindEndpoint(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+std::function<HttpResponse(const HttpRequest&)> Router::AsHandler() {
+  return [this](const HttpRequest& request) { return Handle(request); };
+}
+
+HttpResponse Router::Handle(const HttpRequest& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::string route = "unmatched";
+  std::string model;
+  HttpResponse response = Dispatch(request, route, model);
+
+  double elapsed_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<std::pair<std::string, std::string>> labels = {
+      {"route", route}, {"code", std::to_string(response.status)}};
+  if (!model.empty()) labels.insert(labels.begin() + 1, {"model", model});
+  metrics_
+      ->GetCounter(obs::LabeledName("http.requests_total", labels))
+      .Increment();
+  metrics_
+      ->GetHistogram(
+          obs::LabeledName("http.request_latency_us", {{"route", route}}),
+          kLatencyBoundsUs)
+      .Observe(elapsed_us);
+  return response;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request, std::string& route,
+                              std::string& model) {
+  const std::string path = request.Path();
+
+  if (path == "/healthz") {
+    route = "healthz";
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleHealthz();
+  }
+  if (path == "/metrics") {
+    route = "metrics";
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleMetrics();
+  }
+  if (path == "/v1/models") {
+    route = "models";
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleModels();
+  }
+  std::string name = PredictModelName(path);
+  if (!name.empty()) {
+    route = "predict";
+    model = name;
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandlePredict(name, request);
+  }
+  return JsonError(404, "no route for " + path);
+}
+
+HttpResponse Router::HandleHealthz() {
+  size_t models;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models = endpoints_.size();
+  }
+  return JsonResponse(200, JsonValue::Object()
+                               .Set("status", JsonValue::Str("ok"))
+                               .Set("models", JsonValue::Int(
+                                                  static_cast<int64_t>(
+                                                      models))));
+}
+
+HttpResponse Router::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = metrics_->ExportPrometheus();
+  return response;
+}
+
+HttpResponse Router::HandleModels() {
+  JsonValue models = JsonValue::Array();
+  for (const std::string& name : registry_->Names()) {
+    auto session = registry_->Get(name);
+    if (session == nullptr) continue;  // unregistered between calls
+    models.Push(
+        JsonValue::Object()
+            .Set("name", JsonValue::Str(name))
+            .Set("method", JsonValue::Str(session->model().name()))
+            .Set("vocab_size", JsonValue::Int(session->vocab().size()))
+            .Set("predict_path", JsonValue::Str("/v1/models/" + name +
+                                                "/predict")));
+  }
+  return JsonResponse(200,
+                      JsonValue::Object().Set("models", std::move(models)));
+}
+
+HttpResponse Router::HandlePredict(const std::string& name,
+                                   const HttpRequest& request) {
+  auto endpoint = FindEndpoint(name);
+  if (endpoint == nullptr) {
+    return JsonError(404, "model '" + name + "' is not registered");
+  }
+
+  std::string parse_error;
+  auto payload = JsonValue::Parse(request.body, &parse_error);
+  if (!payload.has_value()) {
+    return JsonError(400, "request body is not valid JSON: " + parse_error);
+  }
+  const JsonValue* text = payload->Find("text");
+  if (text == nullptr || !text->is_string()) {
+    return JsonError(400, "request body must be {\"text\": \"...\"}");
+  }
+
+  auto future = endpoint->batcher->TrySubmit(text->string_value);
+  if (!future.has_value()) {
+    // The batching queue is at capacity: shed immediately instead of
+    // parking a connection thread behind the model (the acceptance bar —
+    // saturation must answer 503, never hang).
+    HttpResponse response =
+        JsonError(503, "model '" + name + "' queue is full, retry later");
+    response.extra_headers.push_back({"Retry-After", "1"});
+    return response;
+  }
+  serve::InferenceResult result = future->get();
+  return JsonResponse(200, ResultToJson(name, result));
+}
+
+}  // namespace net
+}  // namespace dar

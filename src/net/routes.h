@@ -1,0 +1,112 @@
+// The serving API surface: request routing over the model registry.
+//
+//   POST /v1/models/<name>/predict   {"text": "..."} ->
+//       {"model","label","confidence","probs","tokens","rationale":
+//        {"mask","spans":[{"begin","end"}],"text"}}
+//       Requests flow through the model's MicroBatcher (TrySubmit), so
+//       concurrent clients coalesce into padded batches exactly like the
+//       in-process serving path — responses are bit-identical to
+//       InferenceSession::Predict. A full batching queue answers 503.
+//   GET  /v1/models                  registry listing (name, method, ...)
+//   GET  /metrics                    Prometheus text exposition of the
+//                                    shared registry: per-model serving
+//                                    counters (serve_requests_total{model=...})
+//                                    plus the per-route HTTP metrics below
+//   GET  /healthz                    liveness + model count
+//
+// Every handled request records http.requests_total{route=...,code=...}
+// (predict adds model=...) and an http.request_latency_us{route=...}
+// histogram into the same metrics registry /metrics exports.
+#ifndef DAR_NET_ROUTES_H_
+#define DAR_NET_ROUTES_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/http.h"
+#include "obs/metrics.h"
+#include "serve/batcher.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+
+namespace dar {
+namespace net {
+
+struct RouterConfig {
+  /// Batcher settings applied to every model endpoint. max_queue bounds
+  /// the queue so saturation becomes 503 (TrySubmit) instead of blocked
+  /// connection threads; 0 would mean "never reject".
+  serve::BatcherConfig batcher = {.max_batch = 16,
+                                  .max_wait_us = 200,
+                                  .num_workers = 2,
+                                  .max_queue = 128};
+  /// Metrics registry backing /metrics and the HTTP counters; nullptr =
+  /// the Router creates and owns a private one. Not owned otherwise.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Thread-safe request handler over a ModelRegistry. Pass
+/// [&router](const HttpRequest& r) { return router.Handle(r); } (or
+/// Router::AsHandler) to HttpServer.
+class Router {
+ public:
+  /// Attaches to `registry` (not owned, must outlive the router) and
+  /// points its per-model stats publishing at the metrics registry.
+  Router(serve::ModelRegistry& registry, RouterConfig config = {});
+
+  /// Drains and joins every model's batcher.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers `session` under `name` in the model registry (per-model
+  /// labeled stats included) and spins up its micro-batcher. Re-serving an
+  /// existing name hot-swaps: new requests route to the new session while
+  /// in-flight ones finish against the old endpoint, which is destroyed
+  /// (batcher drained) when the last of them releases it.
+  void ServeModel(const std::string& name,
+                  std::shared_ptr<serve::InferenceSession> session);
+
+  /// Routes one request. Thread-safe; called from server pool workers.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Convenience adapter for HttpServer's constructor.
+  std::function<HttpResponse(const HttpRequest&)> AsHandler();
+
+  /// The registry /metrics exports (the owned one unless injected).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  /// A served model: the session plus its batching front. shared_ptr so a
+  /// hot-swap cannot pull either from under an in-flight request.
+  struct Endpoint {
+    std::shared_ptr<serve::InferenceSession> session;
+    std::unique_ptr<serve::MicroBatcher> batcher;
+  };
+
+  std::shared_ptr<Endpoint> FindEndpoint(const std::string& name);
+  HttpResponse HandlePredict(const std::string& model,
+                             const HttpRequest& request);
+  HttpResponse HandleModels();
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz();
+  /// Wraps dispatch with the per-route counter/latency recording.
+  HttpResponse Dispatch(const HttpRequest& request, std::string& route,
+                        std::string& model);
+
+  serve::ModelRegistry* registry_;
+  RouterConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace net
+}  // namespace dar
+
+#endif  // DAR_NET_ROUTES_H_

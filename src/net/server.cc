@@ -1,0 +1,237 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace dar {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining milliseconds until `deadline`, floored at 0.
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Poll in short slices so a blocked connection notices Stop() promptly
+/// without the server needing to signal every socket.
+constexpr int kPollSliceMs = 100;
+
+HttpResponse ErrorResponse(int status, const std::string& detail) {
+  HttpResponse response;
+  response.status = status;
+  response.keep_alive = false;
+  response.body = JsonValue::Object()
+                      .Set("error", JsonValue::Str(StatusReason(status)))
+                      .Set("detail", JsonValue::Str(detail))
+                      .Dump();
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler, ServerConfig config)
+    : handler_(std::move(handler)), config_(std::move(config)) {
+  DAR_CHECK(handler_ != nullptr);
+  DAR_CHECK_GT(config_.num_threads, 0);
+  DAR_CHECK_GT(config_.max_connections, 0);
+  if (config_.metrics != nullptr) {
+    connections_total_ =
+        &config_.metrics->GetCounter("http.connections_total");
+    connections_rejected_ =
+        &config_.metrics->GetCounter("http.connections_rejected_total");
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  DAR_CHECK(!running_);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket()");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton('" + config_.host + "')");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind(" + config_.host + ":" + std::to_string(config_.port) +
+                ")");
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) return fail("listen()");
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return fail("getsockname()");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<serve::ThreadPool>(config_.num_threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  // ThreadPool's destructor waits for every submitted connection task —
+  // that is the in-flight drain. Connections notice stop_ at their next
+  // poll slice and finish their current request with Connection: close.
+  pool_.reset();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;  // timeout slice or transient poll error
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (connections_total_ != nullptr) connections_total_->Increment();
+    if (in_flight_.load(std::memory_order_acquire) >=
+        config_.max_connections) {
+      // Shed load in the accept thread: a one-shot 503 is a small write
+      // into a fresh socket buffer, so this cannot block meaningfully.
+      if (connections_rejected_ != nullptr) {
+        connections_rejected_->Increment();
+      }
+      std::string wire = SerializeResponse(
+          ErrorResponse(503, "connection limit reached, retry later"));
+      (void)!::write(fd, wire.data(), wire.size());
+      ::close(fd);
+      continue;
+    }
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    pool_->Submit([this, fd] {
+      HandleConnection(fd);
+      ::close(fd);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+}
+
+bool HttpServer::SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  auto deadline = Clock::now() +
+                  std::chrono::milliseconds(config_.write_timeout_ms);
+  while (sent < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int remaining = RemainingMs(deadline);
+    if (remaining == 0) return false;
+    int ready = ::poll(&pfd, 1, std::min(remaining, kPollSliceMs));
+    if (ready < 0) return false;
+    if (ready == 0) continue;  // slice elapsed, re-check deadline
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // MSG_NOSIGNAL on send covers SIGPIPE; keep the socket blocking and use
+  // poll() for timeouts.
+  HttpParser parser(config_.limits);
+  std::string carry;  // pipelined bytes beyond the request just parsed
+  char buf[8192];
+
+  for (;;) {  // one iteration per request on this connection
+    parser.Reset();
+    if (!carry.empty()) {
+      size_t used = parser.Feed(carry.data(), carry.size());
+      carry.erase(0, used);
+    }
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(config_.read_timeout_ms);
+    while (!parser.done() && !parser.failed()) {
+      if (stop_.load(std::memory_order_acquire) && parser.idle()) {
+        return;  // draining: close idle keep-alive connections
+      }
+      int remaining = RemainingMs(deadline);
+      if (remaining == 0) {
+        if (!parser.idle()) {
+          (void)SendAll(fd, SerializeResponse(ErrorResponse(
+                                408, "request not received in time")));
+        }
+        return;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, std::min(remaining, kPollSliceMs));
+      if (ready < 0) return;
+      if (ready == 0) continue;
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      size_t used = parser.Feed(buf, static_cast<size_t>(n));
+      if (used < static_cast<size_t>(n)) {
+        carry.append(buf + used, static_cast<size_t>(n) - used);
+      }
+    }
+
+    if (parser.failed()) {
+      // Malformed request: answer with the parser's classification and
+      // close (framing is unreliable past an error).
+      (void)SendAll(fd, SerializeResponse(ErrorResponse(
+                            parser.error_status(), parser.error_detail())));
+      return;
+    }
+
+    HttpResponse response = handler_(parser.request());
+    const bool draining = stop_.load(std::memory_order_acquire);
+    response.keep_alive =
+        response.keep_alive && parser.request().keep_alive && !draining;
+    if (!SendAll(fd, SerializeResponse(response))) return;
+    if (!response.keep_alive) return;
+  }
+}
+
+}  // namespace net
+}  // namespace dar

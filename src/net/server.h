@@ -1,0 +1,124 @@
+// HTTP/1.1 server over POSIX sockets.
+//
+// One accept thread hands each connection to a serve::ThreadPool worker
+// (the pool the serving stack already standardizes on) that runs the
+// read → parse → handle → write loop with keep-alive. Overload never
+// queues silently and never hangs a client:
+//
+//   - more than `max_connections` sockets in flight → the accept thread
+//     answers 503 and closes, without occupying a pool worker;
+//   - per-connection read/write poll() timeouts bound how long a dead or
+//     dawdling peer can hold a worker (408 on a half-sent request);
+//   - the route handler returns 503 itself when the model's batching
+//     queue is full (MicroBatcher::TrySubmit) — load sheds at every layer.
+//
+// Stop() is graceful: the listener closes first, connections finish the
+// request they are serving (keep-alive connections are told
+// "Connection: close" on that last response), and Stop() joins every
+// worker before returning — in-flight requests drain, new ones are
+// refused. Concurrency is TSan-clean by construction: each connection is
+// owned by exactly one pool task, and cross-thread state is limited to
+// the stop flag and the in-flight counter (both atomics) plus the metrics
+// instruments (lock-free).
+#ifndef DAR_NET_SERVER_H_
+#define DAR_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+#include "obs/metrics.h"
+#include "serve/thread_pool.h"
+
+namespace dar {
+namespace net {
+
+struct ServerConfig {
+  /// Numeric IPv4 address to bind ("127.0.0.1" for loopback-only, the
+  /// default; "0.0.0.0" to accept remote clients).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for a free one (see HttpServer::port()),
+  /// which is what the tests and the loopback bench use.
+  int port = 0;
+  /// Connection-serving pool size: at most this many requests are *in
+  /// handlers* concurrently.
+  int num_threads = 4;
+  /// Accepted-socket cap (serving + waiting for a pool worker). The
+  /// accept thread 503s past it, so a flood degrades into fast rejections
+  /// instead of unbounded queueing.
+  int max_connections = 64;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Max wait for request bytes. On a fresh/keep-alive connection this is
+  /// the idle timeout (close silently); mid-request it answers 408.
+  int read_timeout_ms = 5000;
+  /// Max wait for the peer to drain our response.
+  int write_timeout_ms = 5000;
+  /// Parser limits, enforced while reading (see net/http.h).
+  HttpLimits limits;
+  /// When set, the server counts connections and rejections here
+  /// (http.connections_total, http.connections_rejected_total). Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Application hook: one complete request in, one response out. Called on
+/// a pool worker; must be thread-safe (the Router is).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpHandler handler, ServerConfig config);
+  /// Stops (gracefully) if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread + worker pool. False
+  /// (with `error` filled) when the socket setup fails; the server is then
+  /// inert and Start may be retried with a different config.
+  bool Start(std::string* error = nullptr);
+
+  /// Graceful shutdown: stop accepting, serve what is in flight to
+  /// completion, join every thread. Idempotent; also run by the
+  /// destructor. Safe to call from any thread except a handler.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// The bound port (resolves config.port == 0), valid after Start().
+  int port() const { return port_; }
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// write() the whole buffer with poll()-based write timeouts. False on
+  /// error/timeout (connection is then abandoned).
+  bool SendAll(int fd, const std::string& data);
+
+  HttpHandler handler_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{true};
+  bool running_ = false;
+  std::atomic<int> in_flight_{0};
+  std::thread accept_thread_;
+  std::unique_ptr<serve::ThreadPool> pool_;
+
+  // Cached instruments (nullptr when config.metrics is).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Counter* connections_rejected_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace dar
+
+#endif  // DAR_NET_SERVER_H_

@@ -63,7 +63,63 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// Splits a "base{labels}" instrument name (see LabeledName) into the
+/// sanitized base and the verbatim label block ("" when unlabeled). A '{'
+/// without a closing '}' at the end is not a label block — the whole name
+/// is sanitized, which keeps arbitrary caller strings exportable.
+struct SeriesName {
+  std::string base;
+  std::string labels;  // "{k=\"v\",...}" or ""
+};
+
+SeriesName SplitSeries(const std::string& name) {
+  SeriesName series;
+  size_t brace = name.find('{');
+  if (brace != std::string::npos && name.back() == '}' &&
+      name.size() - brace > 2) {
+    series.base = PrometheusName(name.substr(0, brace));
+    series.labels = name.substr(brace);
+  } else {
+    series.base = PrometheusName(name);
+  }
+  return series;
+}
+
+/// Appends `extra` (e.g. le="0.5") into a label block: "{a=\"b\"}" ->
+/// "{a=\"b\",le=\"0.5\"}"; an empty block becomes "{le=\"0.5\"}".
+std::string WithExtraLabel(const std::string& labels,
+                           const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
 }  // namespace
+
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PrometheusName(key) + "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
@@ -224,43 +280,58 @@ std::string MetricsRegistry::ExportJsonl() const {
 std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  char buf[128];
+  char buf[160];
+  // Label dimensions of one metric share a base name; the map's name order
+  // groups them ("m" sorts right before "m{..."), so one # TYPE line per
+  // base name needs only the previous base as dedup state (repeating the
+  // TYPE comment for every series would be invalid exposition).
+  std::string last_type;
+  auto type_line = [&](const std::string& base, const char* kind) {
+    if (base == last_type) return;
+    last_type = base;
+    out += "# TYPE " + base + " " + kind + "\n";
+  };
   for (const auto& [name, counter] : counters_) {
-    std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " counter\n";
-    std::snprintf(buf, sizeof(buf), "%s %lld\n", pname.c_str(),
+    SeriesName series = SplitSeries(name);
+    type_line(series.base, "counter");
+    std::snprintf(buf, sizeof(buf), "%s%s %lld\n", series.base.c_str(),
+                  series.labels.c_str(),
                   static_cast<long long>(counter->value()));
     out += buf;
   }
+  last_type.clear();
   for (const auto& [name, gauge] : gauges_) {
-    std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " gauge\n";
-    std::snprintf(buf, sizeof(buf), "%s %.9g\n", pname.c_str(),
-                  gauge->value());
+    SeriesName series = SplitSeries(name);
+    type_line(series.base, "gauge");
+    std::snprintf(buf, sizeof(buf), "%s%s %.9g\n", series.base.c_str(),
+                  series.labels.c_str(), gauge->value());
     out += buf;
   }
+  last_type.clear();
   for (const auto& [name, hist] : histograms_) {
-    std::string pname = PrometheusName(name);
-    out += "# TYPE " + pname + " histogram\n";
+    SeriesName series = SplitSeries(name);
+    type_line(series.base, "histogram");
     const std::vector<int64_t> counts = hist->BucketCounts();
     int64_t cumulative = 0;
     for (size_t i = 0; i < counts.size(); ++i) {
       cumulative += counts[i];
+      char le[48];
       if (i < hist->bounds().size()) {
-        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %lld\n",
-                      pname.c_str(), hist->bounds()[i],
-                      static_cast<long long>(cumulative));
+        std::snprintf(le, sizeof(le), "le=\"%.9g\"", hist->bounds()[i]);
       } else {
-        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %lld\n",
-                      pname.c_str(), static_cast<long long>(cumulative));
+        std::snprintf(le, sizeof(le), "le=\"+Inf\"");
       }
+      std::snprintf(buf, sizeof(buf), "%s_bucket%s %lld\n",
+                    series.base.c_str(),
+                    WithExtraLabel(series.labels, le).c_str(),
+                    static_cast<long long>(cumulative));
       out += buf;
     }
-    std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n", pname.c_str(),
-                  hist->sum());
+    std::snprintf(buf, sizeof(buf), "%s_sum%s %.9g\n", series.base.c_str(),
+                  series.labels.c_str(), hist->sum());
     out += buf;
-    std::snprintf(buf, sizeof(buf), "%s_count %lld\n", pname.c_str(),
-                  static_cast<long long>(hist->count()));
+    std::snprintf(buf, sizeof(buf), "%s_count%s %lld\n", series.base.c_str(),
+                  series.labels.c_str(), static_cast<long long>(hist->count()));
     out += buf;
   }
   return out;

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dar {
@@ -115,6 +116,22 @@ const std::vector<double>& DurationBucketsUs();
 /// Exact — the estimator ServingStats uses below its memory cap, and the
 /// reference the histogram estimator is tested against.
 int64_t PercentileSorted(const std::vector<int64_t>& sorted, double p);
+
+/// Builds an instrument name carrying a Prometheus label block:
+///
+///   LabeledName("serve.requests_total", {{"model", "beer"}})
+///     == "serve.requests_total{model=\"beer\"}"
+///
+/// Label keys are sanitized like metric names; label values are escaped
+/// (backslash, quote, newline). ExportPrometheus() recognizes the trailing
+/// `{...}` block and emits it verbatim after the sanitized base name (for
+/// histograms the `le` bucket label is merged into the block), so one
+/// registry can hold any number of label dimensions of the same metric —
+/// the per-model serving counters and the per-route HTTP metrics use this.
+/// ExportJsonl() treats the whole string as the metric name.
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
 
 /// Named instrument collection with JSONL and Prometheus exporters.
 class MetricsRegistry {

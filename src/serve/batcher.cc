@@ -48,6 +48,31 @@ std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
   return future;
 }
 
+std::optional<std::future<InferenceResult>> MicroBatcher::TrySubmit(
+    const std::string& text) {
+  obs::Span span("serve.enqueue");
+  Pending pending;
+  // Encoding before taking the lock mirrors Submit and keeps the queue
+  // bound strict; a rejected request wastes one tokenization, which is
+  // cheap next to the forward it is shedding.
+  pending.tokens = session_->Encode(text);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<InferenceResult> future = pending.promise.get_future();
+  bool notify;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DAR_CHECK(!stop_);
+    if (config_.max_queue > 0 &&
+        static_cast<int64_t>(queue_.size()) >= config_.max_queue) {
+      return std::nullopt;
+    }
+    queue_.push_back(std::move(pending));
+    notify = static_cast<int64_t>(queue_.size()) <= config_.max_batch;
+  }
+  if (notify) cv_.notify_one();
+  return future;
+}
+
 void MicroBatcher::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

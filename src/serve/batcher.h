@@ -23,6 +23,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +64,14 @@ class MicroBatcher {
   /// Blocks while the queue is at `max_queue` (when bounded). Thread-safe;
   /// every Submit must have returned before Shutdown begins.
   std::future<InferenceResult> Submit(const std::string& text);
+
+  /// Non-blocking Submit: nullopt when the queue is at `max_queue` instead
+  /// of waiting for space ("queue full / would block" made observable —
+  /// the HTTP front-end maps it to 503 so saturation sheds load rather
+  /// than tying up connection threads). Unbounded queues never reject.
+  /// Same thread-safety and shutdown contract as Submit.
+  std::optional<std::future<InferenceResult>> TrySubmit(
+      const std::string& text);
 
   /// Stops accepting requests, serves everything still queued, and joins
   /// the workers. Idempotent; also run by the destructor.

@@ -7,10 +7,16 @@
 namespace dar {
 namespace serve {
 
+void ModelRegistry::PublishMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
 void ModelRegistry::Register(const std::string& name,
                              std::shared_ptr<InferenceSession> session) {
   DAR_CHECK(session != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
+  if (metrics_ != nullptr) session->BindStats(metrics_, name);
   sessions_[name] = std::move(session);
 }
 

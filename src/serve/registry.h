@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/session.h"
 
 namespace dar {
@@ -19,7 +20,19 @@ namespace serve {
 /// in flight keeps its model alive even if it is concurrently replaced.
 class ModelRegistry {
  public:
-  /// Registers (or hot-swaps) a session under `name`.
+  /// Sets the metrics registry new registrations publish into (not owned;
+  /// must outlive the registry; pass nullptr to stop). Every subsequent
+  /// Register(name, session) rebinds the session's ServingStats onto this
+  /// registry with a `{model="name"}` label, so one /metrics exposition
+  /// carries per-model request/latency series for every routed model. Call
+  /// before registering sessions — already-registered ones keep their
+  /// previous stats binding.
+  void PublishMetrics(obs::MetricsRegistry* metrics);
+
+  /// Registers (or hot-swaps) a session under `name`. When a metrics
+  /// registry is attached (PublishMetrics), the session's stats are
+  /// rebound to it under the `{model=name}` label — so register sessions
+  /// before they serve traffic.
   void Register(const std::string& name,
                 std::shared_ptr<InferenceSession> session);
 
@@ -43,6 +56,7 @@ class ModelRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<InferenceSession>> sessions_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace serve

@@ -28,7 +28,9 @@ std::vector<RationaleSpan> MaskToSpans(const std::vector<uint8_t>& mask) {
 
 InferenceSession::InferenceSession(
     std::unique_ptr<core::RationalizerBase> model, data::Vocabulary vocab)
-    : model_(std::move(model)), vocab_(std::move(vocab)) {
+    : model_(std::move(model)),
+      vocab_(std::move(vocab)),
+      stats_(std::make_unique<ServingStats>()) {
   DAR_CHECK(model_ != nullptr);
   // Pin eval mode once: dropout becomes the identity and EvalMaskConst is
   // deterministic, so concurrent const forwards are safe.
@@ -48,6 +50,12 @@ std::unique_ptr<InferenceSession> InferenceSession::FromCheckpoint(
                                             std::move(vocab));
 }
 
+void InferenceSession::BindStats(obs::MetricsRegistry* registry,
+                                 const std::string& model_label) {
+  stats_ = std::make_unique<ServingStats>(
+      registry, "serve", ServingStats::kDefaultExactLatencyCap, model_label);
+}
+
 std::vector<int64_t> InferenceSession::Encode(const std::string& text) const {
   std::vector<int64_t> ids = data::Encode(text, vocab_);
   if (ids.empty()) ids.push_back(data::Vocabulary::kUnkId);
@@ -58,7 +66,7 @@ InferenceResult InferenceSession::Predict(const std::string& text) const {
   auto start = std::chrono::steady_clock::now();
   std::vector<InferenceResult> results = PredictTokenBatch({Encode(text)});
   auto elapsed = std::chrono::steady_clock::now() - start;
-  stats_.RecordLatencyUs(
+  stats_->RecordLatencyUs(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
   return std::move(results[0]);
 }
@@ -71,7 +79,7 @@ std::vector<InferenceResult> InferenceSession::PredictTokenBatch(
   Tensor mask = model_->EvalMaskConst(batch);
   Tensor logits = model_->PredictLogitsConst(batch, mask);
   Tensor probs = SoftmaxRows(logits);
-  stats_.RecordBatch(batch.batch_size());
+  stats_->RecordBatch(batch.batch_size());
 
   int64_t num_classes = logits.size(1);
   std::vector<InferenceResult> results;

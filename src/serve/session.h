@@ -92,12 +92,25 @@ class InferenceSession {
 
   /// Serving statistics for this session (both the naive Predict path and
   /// the micro-batched path record here).
-  ServingStats& stats() const { return stats_; }
+  ServingStats& stats() const { return *stats_; }
+
+  /// Replaces the private stats accumulator with one publishing into
+  /// `registry` (not owned, must outlive the session) under a
+  /// `{model="model_label"}` label block — per-model serving series on a
+  /// shared /metrics registry. ModelRegistry::Register calls this with the
+  /// registered name when the registry has a publish target. Must be called
+  /// before the session serves traffic (it swaps the accumulator, and the
+  /// batcher caches nothing but reads stats() concurrently once running);
+  /// previously recorded counts are dropped.
+  void BindStats(obs::MetricsRegistry* registry,
+                 const std::string& model_label);
 
  private:
   std::unique_ptr<core::RationalizerBase> model_;
   data::Vocabulary vocab_;
-  mutable ServingStats stats_;
+  /// unique_ptr so BindStats can rebind (ServingStats owns a mutex and is
+  /// neither movable nor assignable).
+  mutable std::unique_ptr<ServingStats> stats_;
 };
 
 }  // namespace serve

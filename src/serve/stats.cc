@@ -36,19 +36,25 @@ std::string StatsSnapshot::ToString() const {
 }
 
 ServingStats::ServingStats(obs::MetricsRegistry* registry, std::string prefix,
-                           size_t exact_latency_cap)
+                           size_t exact_latency_cap,
+                           const std::string& model_label)
     : exact_latency_cap_(exact_latency_cap) {
   if (registry == nullptr) {
     owned_registry_ = std::make_unique<obs::MetricsRegistry>();
     registry = owned_registry_.get();
   }
   registry_ = registry;
-  requests_ = &registry_->GetCounter(prefix + ".requests_total");
-  batches_ = &registry_->GetCounter(prefix + ".batches_total");
-  latency_hist_ = &registry_->GetHistogram(prefix + ".latency_us",
-                                           obs::DurationBucketsUs());
+  std::vector<std::pair<std::string, std::string>> labels;
+  if (!model_label.empty()) labels.push_back({"model", model_label});
+  auto name = [&](const char* suffix) {
+    return obs::LabeledName(prefix + suffix, labels);
+  };
+  requests_ = &registry_->GetCounter(name(".requests_total"));
+  batches_ = &registry_->GetCounter(name(".batches_total"));
+  latency_hist_ =
+      &registry_->GetHistogram(name(".latency_us"), obs::DurationBucketsUs());
   batch_size_hist_ =
-      &registry_->GetHistogram(prefix + ".batch_size", BatchSizeBuckets());
+      &registry_->GetHistogram(name(".batch_size"), BatchSizeBuckets());
 }
 
 void ServingStats::RecordBatch(int64_t batch_size) {

@@ -68,9 +68,17 @@ class ServingStats {
   /// Accumulator publishing into `registry` (not owned; pass nullptr for a
   /// private one) under `<prefix>.`-named instruments. All instruments are
   /// created up front; the registry pointer must outlive the stats object.
+  ///
+  /// A non-empty `model_label` adds a `{model="..."}` Prometheus label
+  /// block to every instrument name (serve.requests_total{model="beer"},
+  /// ...), so one shared registry can carry per-model serving series for
+  /// every session the ModelRegistry routes to — the /metrics endpoint's
+  /// per-aspect dimension. Unlabeled and labeled stats of the same prefix
+  /// coexist in one registry without colliding.
   explicit ServingStats(obs::MetricsRegistry* registry,
                         std::string prefix = "serve",
-                        size_t exact_latency_cap = kDefaultExactLatencyCap);
+                        size_t exact_latency_cap = kDefaultExactLatencyCap,
+                        const std::string& model_label = "");
 
   /// Records one executed forward covering `batch_size` requests.
   void RecordBatch(int64_t batch_size);

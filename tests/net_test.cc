@@ -1,0 +1,759 @@
+// Tests for the HTTP front-end (src/net/): parser conformance against a
+// malformed-request corpus, the JSON reader/writer's bit-exact number
+// round-trip, and end-to-end loopback serving — bit-identical predict
+// responses, 503 load shedding at queue saturation, graceful shutdown
+// under in-flight load, and concurrent clients (the TSan lane runs this
+// binary to vet the server's threading).
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rnp.h"
+#include "datasets/beer.h"
+#include "eval/experiment.h"
+#include "net/client.h"
+#include "net/http.h"
+#include "net/routes.h"
+#include "net/server.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HttpParser
+// ---------------------------------------------------------------------------
+
+/// Feeds the whole wire image at once; the parser must consume exactly one
+/// request's worth of bytes.
+size_t FeedAll(HttpParser& parser, const std::string& wire) {
+  return parser.Feed(wire.data(), wire.size());
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  std::string wire = "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(FeedAll(parser, wire), wire.size());
+  ASSERT_TRUE(parser.done());
+  const HttpRequest& r = parser.request();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/healthz");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_TRUE(r.keep_alive);
+  ASSERT_NE(r.FindHeader("host"), nullptr);
+  EXPECT_EQ(*r.FindHeader("host"), "localhost");
+  EXPECT_TRUE(r.body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostBody) {
+  HttpParser parser;
+  std::string wire =
+      "POST /v1/models/beer/predict HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 16\r\n\r\n"
+      "{\"text\": \"beer\"}";
+  EXPECT_EQ(FeedAll(parser, wire), wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "{\"text\": \"beer\"}");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeeding) {
+  std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  HttpParser parser;
+  for (char c : wire) {
+    ASSERT_FALSE(parser.failed());
+    EXPECT_EQ(parser.Feed(&c, 1), 1u);
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "abc");
+}
+
+TEST(HttpParserTest, PipelinedBytesStayUnconsumed) {
+  std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  std::string second = "GET /b HTTP/1.1\r\n\r\n";
+  std::string wire = first + second;
+  HttpParser parser;
+  size_t used = FeedAll(parser, wire);
+  EXPECT_EQ(used, first.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/a");
+
+  parser.Reset();
+  EXPECT_EQ(parser.Feed(wire.data() + used, wire.size() - used),
+            second.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  struct Case {
+    const char* wire;
+    bool keep_alive;
+  };
+  const Case cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+      // Connection is a case-insensitive token list.
+      {"GET / HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: foo, CLOSE\r\n\r\n", false},
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    FeedAll(parser, c.wire);
+    ASSERT_TRUE(parser.done()) << c.wire;
+    EXPECT_EQ(parser.request().keep_alive, c.keep_alive) << c.wire;
+  }
+}
+
+TEST(HttpParserTest, BareLfAndHeaderNormalization) {
+  HttpParser parser;
+  std::string wire = "GET /q?x=1 HTTP/1.1\nX-CusTom:  padded value \n\n";
+  EXPECT_EQ(FeedAll(parser, wire), wire.size());
+  ASSERT_TRUE(parser.done());
+  ASSERT_NE(parser.request().FindHeader("x-custom"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("x-custom"), "padded value");
+  EXPECT_EQ(parser.request().Path(), "/q");  // query stripped for routing
+  EXPECT_EQ(parser.request().target, "/q?x=1");
+}
+
+TEST(HttpParserTest, ZeroContentLengthCompletesImmediately) {
+  HttpParser parser;
+  FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, MalformedCorpusClassified) {
+  struct Case {
+    std::string wire;
+    int status;
+  };
+  const std::vector<Case> corpus = {
+      {"GET /\r\n\r\n", 400},                         // missing version
+      {"GET / HTTP/1.1 junk\r\n\r\n", 400},           // extra field
+      {"G(T / HTTP/1.1\r\n\r\n", 400},                // method not a token
+      {"GET example.com/x HTTP/1.1\r\n\r\n", 400},    // not origin-form
+      {std::string("GET /a\x01") + "b HTTP/1.1\r\n\r\n", 400},  // ctl byte
+      {"GET / HTTP/2.0\r\n\r\n", 505},
+      {"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n", 400},  // obs-fold
+      {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", 400},  // space before ':'
+      {std::string("GET / HTTP/1.1\r\nX: a\x01") + "b\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+      {"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+       400},
+      {"POST / HTTP/1.1\r\nContent-Length: 5, 6\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n", 400},
+  };
+  for (const Case& c : corpus) {
+    HttpParser parser;
+    FeedAll(parser, c.wire);
+    ASSERT_TRUE(parser.failed()) << c.wire;
+    EXPECT_EQ(parser.error_status(), c.status) << c.wire;
+    EXPECT_FALSE(parser.error_detail().empty());
+  }
+}
+
+TEST(HttpParserTest, LimitsEnforcedDuringParsing) {
+  HttpLimits tight;
+  tight.max_request_line = 24;
+  {
+    HttpParser parser(tight);
+    FeedAll(parser,
+            "GET /a/very/long/target/that/keeps/going HTTP/1.1\r\n\r\n");
+    ASSERT_TRUE(parser.failed());
+    EXPECT_EQ(parser.error_status(), 414);
+  }
+  {
+    HttpLimits limits;
+    limits.max_header_bytes = 32;
+    HttpParser parser(limits);
+    FeedAll(parser,
+            "GET / HTTP/1.1\r\nX-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+            "aaaaaaaaaaaaaaaa\r\n\r\n");
+    ASSERT_TRUE(parser.failed());
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    HttpLimits limits;
+    limits.max_headers = 2;
+    HttpParser parser(limits);
+    FeedAll(parser, "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n");
+    ASSERT_TRUE(parser.failed());
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  {
+    HttpLimits limits;
+    limits.max_body_bytes = 8;
+    HttpParser parser(limits);
+    FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+    ASSERT_TRUE(parser.failed());
+    EXPECT_EQ(parser.error_status(), 413);
+  }
+}
+
+TEST(HttpParserTest, TruncatedPrefixesStayIncomplete) {
+  std::string wire =
+      "POST /v1/models/beer/predict HTTP/1.1\r\n"
+      "Content-Length: 5\r\n\r\nhello";
+  // Every strict prefix of a valid request must leave the parser waiting
+  // for more bytes — neither complete nor failed.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpParser parser;
+    parser.Feed(wire.data(), cut);
+    EXPECT_FALSE(parser.done()) << "cut at " << cut;
+    EXPECT_FALSE(parser.failed()) << "cut at " << cut;
+  }
+  HttpParser parser;
+  FeedAll(parser, wire);
+  EXPECT_TRUE(parser.done());
+}
+
+TEST(HttpParserTest, IdleDistinguishesMidRequest) {
+  HttpParser parser;
+  EXPECT_TRUE(parser.idle());
+  parser.Feed("G", 1);
+  EXPECT_FALSE(parser.idle());
+  parser.Reset();
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(HttpParserTest, FuzzedGarbageNeverCrashes) {
+  Pcg32 rng(2024);
+  for (int round = 0; round < 300; ++round) {
+    size_t len = rng.Below(200);
+    std::string garbage;
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.Below(256));
+    }
+    HttpParser parser;
+    // Feed in random-sized chunks; the parser must settle in a sane state
+    // without crashing or over-consuming.
+    size_t pos = 0;
+    while (pos < garbage.size() && !parser.done() && !parser.failed()) {
+      size_t chunk = 1 + rng.Below(16);
+      chunk = std::min(chunk, garbage.size() - pos);
+      size_t used = parser.Feed(garbage.data() + pos, chunk);
+      ASSERT_LE(used, chunk);
+      if (used == 0) break;  // parser stopped consuming (done/failed)
+      pos += used;
+    }
+    if (parser.failed()) {
+      EXPECT_GE(parser.error_status(), 400);
+      EXPECT_LT(parser.error_status(), 600);
+    }
+  }
+}
+
+TEST(SerializeResponseTest, WireFormat) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{\"error\":\"Not Found\"}";
+  response.keep_alive = false;
+  response.extra_headers.push_back({"Retry-After", "1"});
+  std::string wire = SerializeResponse(response);
+  EXPECT_EQ(wire.find("HTTP/1.1 404 Not Found\r\n"), 0u);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 21\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"error\":\"Not Found\"}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, DumpAndParseRoundTrip) {
+  JsonValue value =
+      JsonValue::Object()
+          .Set("label", JsonValue::Int(1))
+          .Set("ok", JsonValue::Bool(true))
+          .Set("none", JsonValue::Null())
+          .Set("text", JsonValue::Str("a \"quoted\" \\ line\nnext"))
+          .Set("probs", JsonValue::Array()
+                            .Push(JsonValue::Number(0.25))
+                            .Push(JsonValue::Number(0.75)));
+  std::string dumped = value.Dump();
+  // Member order is preserved — responses are byte-stable.
+  EXPECT_EQ(dumped.find("{\"label\":1,\"ok\":true,\"none\":null"), 0u);
+
+  std::string error;
+  auto parsed = JsonValue::Parse(dumped, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("label")->number_value, 1.0);
+  EXPECT_TRUE(parsed->Find("ok")->bool_value);
+  EXPECT_EQ(parsed->Find("text")->string_value, "a \"quoted\" \\ line\nnext");
+  ASSERT_EQ(parsed->Find("probs")->items.size(), 2u);
+  EXPECT_EQ(parsed->Find("probs")->items[1].number_value, 0.75);
+  EXPECT_EQ(parsed->Dump(), dumped);
+}
+
+TEST(JsonTest, Float32RoundTripsBitExact) {
+  // The predict endpoint's bit-identical contract: any float32, widened to
+  // double, must survive Dump -> Parse -> narrow back unchanged.
+  const float cases[] = {0.1f,
+                         1.0f / 3.0f,
+                         3.14159274f,
+                         0.333333343f,
+                         -2.5f,
+                         1.17549435e-38f,   // FLT_MIN
+                         1.40129846e-45f,   // smallest denormal
+                         3.40282347e+38f,   // FLT_MAX
+                         6.02214076e23f,
+                         -7.77777778e-12f};
+  for (float f : cases) {
+    std::string dumped = JsonValue::Number(static_cast<double>(f)).Dump();
+    auto parsed = JsonValue::Parse(dumped);
+    ASSERT_TRUE(parsed.has_value()) << dumped;
+    float back = static_cast<float>(parsed->number_value);
+    EXPECT_EQ(std::memcmp(&back, &f, sizeof(float)), 0)
+        << f << " -> " << dumped << " -> " << back;
+  }
+}
+
+TEST(JsonTest, IntegralNumbersPrintAsIntegers) {
+  EXPECT_EQ(JsonValue::Int(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Int(-3).Dump(), "-3");
+  EXPECT_EQ(JsonValue::Number(2.0).Dump(), "2");
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto parsed = JsonValue::Parse("\"\\u0041\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  // A, é (C3 A9), 😀 (F0 9F 98 80).
+  EXPECT_EQ(parsed->string_value, "A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* cases[] = {
+      "",
+      "{",
+      "[1, 2",
+      "007",
+      "1 2",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"\\ud800 unpaired\"",
+      "{\"a\" 1}",
+      "{a: 1}",
+      "[1,]",
+      "nul",
+      "1.",
+      "1e",
+      "--1",
+  };
+  for (const char* text : cases) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonTest, DepthCapStopsRunawayNesting) {
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(JsonValue::Parse(shallow).has_value());
+
+  std::string deep(80, '[');
+  deep += std::string(80, ']');
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback serving
+// ---------------------------------------------------------------------------
+
+core::TrainConfig TinyConfig() {
+  core::TrainConfig config;
+  config.embedding_dim = 16;
+  config.hidden_dim = 8;
+  return config;
+}
+
+/// Untrained tiny RNP session: serving correctness (routing, wire format,
+/// bit-identical responses) does not require a trained model.
+std::shared_ptr<serve::InferenceSession> MakeSession(uint64_t seed = 7) {
+  datasets::SyntheticDataset dataset = datasets::MakeBeerDataset(
+      datasets::BeerAspect::kAppearance, {.train = 40, .dev = 10, .test = 10},
+      seed);
+  core::TrainConfig config = TinyConfig();
+  config.seed = seed;
+  auto model = std::make_unique<core::RnpModel>(
+      eval::BuildEmbeddings(dataset, config), config);
+  return std::make_shared<serve::InferenceSession>(std::move(model),
+                                                   dataset.vocab);
+}
+
+/// Everything an e2e test needs, wired together on a kernel-chosen port.
+struct Loopback {
+  serve::ModelRegistry registry;
+  std::unique_ptr<Router> router;
+  std::unique_ptr<HttpServer> server;
+  std::shared_ptr<serve::InferenceSession> session;
+
+  explicit Loopback(RouterConfig router_config = {},
+                    ServerConfig server_config = {}) {
+    session = MakeSession();
+    router = std::make_unique<Router>(registry, router_config);
+    router->ServeModel("beer", session);
+    server_config.port = 0;
+    if (server_config.metrics == nullptr) {
+      server_config.metrics = &router->metrics();
+    }
+    server = std::make_unique<HttpServer>(router->AsHandler(), server_config);
+    std::string error;
+    bool started = server->Start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+
+  ~Loopback() {
+    // The server must stop before the router destroys the batchers its
+    // in-flight handlers use.
+    server->Stop();
+  }
+
+  HttpClient Client() { return HttpClient("127.0.0.1", server->port()); }
+};
+
+std::string PredictBody(const std::string& text) {
+  return JsonValue::Object().Set("text", JsonValue::Str(text)).Dump();
+}
+
+/// Asserts an HTTP predict response carries exactly the fields of the
+/// directly computed result — the bit-identical serving contract.
+void ExpectResponseMatches(const std::string& body,
+                           const serve::InferenceResult& direct) {
+  std::string error;
+  auto json = JsonValue::Parse(body, &error);
+  ASSERT_TRUE(json.has_value()) << error << " in " << body;
+  EXPECT_EQ(static_cast<int64_t>(json->Find("label")->number_value),
+            direct.label);
+  EXPECT_EQ(static_cast<float>(json->Find("confidence")->number_value),
+            direct.confidence);
+  const JsonValue* probs = json->Find("probs");
+  ASSERT_NE(probs, nullptr);
+  ASSERT_EQ(probs->items.size(), direct.probs.size());
+  for (size_t i = 0; i < direct.probs.size(); ++i) {
+    EXPECT_EQ(static_cast<float>(probs->items[i].number_value),
+              direct.probs[i]);
+  }
+  const JsonValue* tokens = json->Find("tokens");
+  ASSERT_EQ(tokens->items.size(), direct.tokens.size());
+  for (size_t i = 0; i < direct.tokens.size(); ++i) {
+    EXPECT_EQ(tokens->items[i].string_value, direct.tokens[i]);
+  }
+  const JsonValue* rationale = json->Find("rationale");
+  ASSERT_NE(rationale, nullptr);
+  const JsonValue* mask = rationale->Find("mask");
+  ASSERT_EQ(mask->items.size(), direct.mask.size());
+  for (size_t i = 0; i < direct.mask.size(); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(mask->items[i].number_value),
+              direct.mask[i]);
+  }
+  const JsonValue* spans = rationale->Find("spans");
+  ASSERT_EQ(spans->items.size(), direct.spans.size());
+  for (size_t i = 0; i < direct.spans.size(); ++i) {
+    EXPECT_EQ(static_cast<int64_t>(
+                  spans->items[i].Find("begin")->number_value),
+              direct.spans[i].begin);
+    EXPECT_EQ(static_cast<int64_t>(spans->items[i].Find("end")->number_value),
+              direct.spans[i].end);
+  }
+  EXPECT_EQ(rationale->Find("text")->string_value, direct.rationale_text);
+}
+
+TEST(HttpEndToEndTest, HealthzAndModels) {
+  Loopback loop;
+  HttpClient client = loop.Client();
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.has_value()) << client.error();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"ok\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"models\":1"), std::string::npos);
+
+  auto models = client.Get("/v1/models");
+  ASSERT_TRUE(models.has_value()) << client.error();
+  EXPECT_EQ(models->status, 200);
+  EXPECT_NE(models->body.find("\"name\":\"beer\""), std::string::npos);
+  EXPECT_NE(models->body.find("/v1/models/beer/predict"), std::string::npos);
+}
+
+TEST(HttpEndToEndTest, PredictBitIdenticalToDirectSession) {
+  Loopback loop;
+  HttpClient client = loop.Client();
+  const std::string texts[] = {
+      "the beer looks wonderful and golden",
+      "flat and murky pour with no head",
+      "",  // empty text must stay servable
+      "one",
+  };
+  for (const std::string& text : texts) {
+    serve::InferenceResult direct = loop.session->Predict(text);
+    auto response =
+        client.Post("/v1/models/beer/predict", PredictBody(text));
+    ASSERT_TRUE(response.has_value()) << client.error();
+    ASSERT_EQ(response->status, 200) << response->body;
+    ExpectResponseMatches(response->body, direct);
+  }
+  // Keep-alive carried all four requests on one connection.
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(HttpEndToEndTest, RoutingErrors) {
+  Loopback loop;
+  HttpClient client = loop.Client();
+
+  auto missing = client.Get("/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  auto wrong_method = client.Get("/v1/models/beer/predict");
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_EQ(wrong_method->status, 405);
+  ASSERT_NE(wrong_method->FindHeader("allow"), nullptr);
+  EXPECT_EQ(*wrong_method->FindHeader("allow"), "POST");
+
+  auto unknown_model =
+      client.Post("/v1/models/ghost/predict", PredictBody("x"));
+  ASSERT_TRUE(unknown_model.has_value());
+  EXPECT_EQ(unknown_model->status, 404);
+
+  auto bad_json = client.Post("/v1/models/beer/predict", "{not json");
+  ASSERT_TRUE(bad_json.has_value());
+  EXPECT_EQ(bad_json->status, 400);
+
+  auto no_text = client.Post("/v1/models/beer/predict", "{\"txt\": \"x\"}");
+  ASSERT_TRUE(no_text.has_value());
+  EXPECT_EQ(no_text->status, 400);
+
+  auto not_object = client.Post("/v1/models/beer/predict", "[1,2]");
+  ASSERT_TRUE(not_object.has_value());
+  EXPECT_EQ(not_object->status, 400);
+
+  auto post_models = client.Request("POST", "/v1/models", "{}");
+  ASSERT_TRUE(post_models.has_value());
+  EXPECT_EQ(post_models->status, 405);
+}
+
+TEST(HttpEndToEndTest, MetricsExposePerModelAndPerRouteSeries) {
+  Loopback loop;
+  HttpClient client = loop.Client();
+  ASSERT_TRUE(
+      client.Post("/v1/models/beer/predict", PredictBody("a fine beer"))
+          .has_value());
+  ASSERT_TRUE(client.Get("/healthz").has_value());
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.has_value()) << client.error();
+  EXPECT_EQ(metrics->status, 200);
+  ASSERT_NE(metrics->FindHeader("content-type"), nullptr);
+  EXPECT_NE(metrics->FindHeader("content-type")->find("text/plain"),
+            std::string::npos);
+  // Per-model serving series (satellite: model-labeled ServingStats).
+  EXPECT_NE(metrics->body.find("serve_requests_total{model=\"beer\"} 1"),
+            std::string::npos)
+      << metrics->body;
+  // Per-route HTTP series.
+  EXPECT_NE(metrics->body.find("http_requests_total{route=\"predict\","
+                               "model=\"beer\",code=\"200\"} 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("http_requests_total{route=\"healthz\","
+                               "code=\"200\"} 1"),
+            std::string::npos)
+      << metrics->body;
+  // Connection accounting flows into the same registry.
+  EXPECT_NE(metrics->body.find("http_connections_total"), std::string::npos);
+}
+
+TEST(HttpEndToEndTest, MalformedRequestAnswers400OverTheWire) {
+  Loopback loop;
+  HttpClient client = loop.Client();
+  // "/a b" serializes to a request line with four fields.
+  auto response = client.Request("GET", "/a b");
+  ASSERT_TRUE(response.has_value()) << client.error();
+  EXPECT_EQ(response->status, 400);
+  // The server closes after a parse error; the client notices.
+  EXPECT_FALSE(response->keep_alive);
+}
+
+TEST(HttpEndToEndTest, OversizedBodyAnswers413) {
+  ServerConfig server_config;
+  server_config.limits.max_body_bytes = 64;
+  Loopback loop({}, server_config);
+  HttpClient client = loop.Client();
+  auto response = client.Post("/v1/models/beer/predict",
+                              PredictBody(std::string(200, 'x')));
+  ASSERT_TRUE(response.has_value()) << client.error();
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST(HttpEndToEndTest, QueueSaturationSheds503WithoutHanging) {
+  // One lingering worker holds the first request in the queue for the
+  // whole max_wait window (it lingers *without* dequeuing until the batch
+  // fills), so with max_queue == 1 the second concurrent predict
+  // deterministically finds the queue full.
+  RouterConfig router_config;
+  router_config.batcher = {.max_batch = 8,
+                           .max_wait_us = 1'500'000,
+                           .num_workers = 1,
+                           .max_queue = 1};
+  Loopback loop(router_config);
+
+  std::thread first([&] {
+    HttpClient client = loop.Client();
+    auto response =
+        client.Post("/v1/models/beer/predict", PredictBody("slow one"));
+    ASSERT_TRUE(response.has_value()) << client.error();
+    EXPECT_EQ(response->status, 200);  // served once the linger expires
+  });
+  // Let the first request reach the batcher queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  HttpClient client = loop.Client();
+  auto start = std::chrono::steady_clock::now();
+  auto shed = client.Post("/v1/models/beer/predict", PredictBody("shed me"));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(shed.has_value()) << client.error();
+  EXPECT_EQ(shed->status, 503) << shed->body;
+  ASSERT_NE(shed->FindHeader("retry-after"), nullptr);
+  // The 503 must shed immediately, not wait behind the lingering batch.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  first.join();
+}
+
+TEST(HttpEndToEndTest, ConcurrentClientsGetBitIdenticalResponses) {
+  Loopback loop;
+  const std::vector<std::string> texts = {
+      "a golden pour with creamy head",
+      "smells of hops and citrus",
+      "watery and flat",
+      "rich malt backbone",
+  };
+  std::vector<serve::InferenceResult> direct;
+  for (const std::string& text : texts) {
+    direct.push_back(loop.session->Predict(text));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client = loop.Client();
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        size_t pick = static_cast<size_t>((t + i) % texts.size());
+        auto response = client.Post("/v1/models/beer/predict",
+                                    PredictBody(texts[pick]));
+        if (!response.has_value() || response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        ExpectResponseMatches(response->body, direct[pick]);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(HttpEndToEndTest, GracefulShutdownUnderInFlightLoad) {
+  Loopback loop;
+  std::atomic<bool> done{false};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      HttpClient client = loop.Client();
+      while (!done.load()) {
+        auto response = client.Post("/v1/models/beer/predict",
+                                    PredictBody("drain me gracefully"));
+        if (!response.has_value()) {
+          // Connection refused/closed: the server is stopping. Every
+          // *answered* request must still be a complete, valid response.
+          break;
+        }
+        EXPECT_TRUE(response->status == 200 || response->status == 503)
+            << response->status;
+        if (response->status == 200) served.fetch_add(1);
+      }
+    });
+  }
+  // Let load build, then stop mid-flight: Stop() must drain in-flight
+  // requests (no hang, no crash, no torn responses) and return.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  loop.server->Stop();
+  done.store(true);
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_FALSE(loop.server->running());
+  EXPECT_GT(served.load(), 0);
+
+  // The port no longer answers.
+  HttpClient after("127.0.0.1", loop.server->port(), /*timeout_ms=*/500);
+  EXPECT_FALSE(after.Get("/healthz").has_value());
+}
+
+TEST(HttpEndToEndTest, RequestTimeoutAnswers408) {
+  ServerConfig server_config;
+  server_config.read_timeout_ms = 200;
+  Loopback loop({}, server_config);
+
+  // Raw socket: send half a request and stall.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(loop.server->port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "GET /healthz HT";
+  ASSERT_EQ(::send(fd, partial, sizeof(partial) - 1, 0),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+
+  std::string received;
+  char buf[1024];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("408"), std::string::npos) << received;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dar

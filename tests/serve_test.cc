@@ -321,6 +321,52 @@ TEST(MicroBatcherTest, BoundedQueueStillServesEverything) {
   }
 }
 
+TEST(MicroBatcherTest, TrySubmitRejectsAtQueueBound) {
+  auto session = MakeSession();
+  BatcherConfig config;
+  config.max_batch = 8;
+  // A long linger keeps the lone worker waiting for the batch to fill
+  // *without dequeuing* — the queued request deterministically occupies
+  // the one queue slot while we probe the bound.
+  config.max_wait_us = 1'500'000;
+  config.num_workers = 1;
+  config.max_queue = 1;
+  MicroBatcher batcher(*session, config);
+
+  auto accepted = batcher.TrySubmit("first request fills the queue");
+  ASSERT_TRUE(accepted.has_value());
+  auto rejected = batcher.TrySubmit("second request must shed");
+  EXPECT_FALSE(rejected.has_value());
+
+  // The accepted request is served normally once the linger expires, and
+  // rejection never corrupted it.
+  ExpectSameResult(accepted->get(),
+                   session->Predict("first request fills the queue"));
+  // With the queue drained, admission reopens.
+  auto after = batcher.TrySubmit("third request fits again");
+  EXPECT_TRUE(after.has_value());
+  ExpectSameResult(after->get(),
+                   session->Predict("third request fits again"));
+}
+
+TEST(MicroBatcherTest, TrySubmitUnboundedNeverRejects) {
+  auto session = MakeSession();
+  BatcherConfig config;
+  config.max_batch = 2;
+  config.max_wait_us = 0;
+  config.num_workers = 1;
+  config.max_queue = 0;  // unbounded
+  MicroBatcher batcher(*session, config);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    auto future = batcher.TrySubmit("always admitted");
+    ASSERT_TRUE(future.has_value()) << i;
+    futures.push_back(std::move(*future));
+  }
+  InferenceResult direct = session->Predict("always admitted");
+  for (auto& future : futures) ExpectSameResult(future.get(), direct);
+}
+
 TEST(ServingStatsTest, SnapshotAggregates) {
   ServingStats stats;
   stats.RecordBatch(1);
@@ -372,6 +418,31 @@ TEST(ModelRegistryTest, RoutesByName) {
   EXPECT_TRUE(registry.Unregister("hotel"));
   EXPECT_FALSE(registry.Unregister("hotel"));
   EXPECT_FALSE(registry.Contains("hotel"));
+}
+
+TEST(ModelRegistryTest, PublishMetricsLabelsSeriesPerModel) {
+  obs::MetricsRegistry metrics;
+  ModelRegistry registry;
+  registry.PublishMetrics(&metrics);
+  registry.Register("beer", MakeSession(3));
+  registry.Register("hotel", MakeSession(7));
+
+  ASSERT_TRUE(registry.Predict("beer", "pours a hazy amber").has_value());
+  ASSERT_TRUE(registry.Predict("beer", "thin head but clear").has_value());
+  ASSERT_TRUE(registry.Predict("hotel", "spotless lobby").has_value());
+
+  // One shared exposition carries a distinct series per model.
+  std::string exposition = metrics.ExportPrometheus();
+  EXPECT_NE(exposition.find("serve_requests_total{model=\"beer\"} 2"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("serve_requests_total{model=\"hotel\"} 1"),
+            std::string::npos)
+      << exposition;
+  // Latency histograms carry the model label merged with the bucket label.
+  EXPECT_NE(exposition.find("serve_latency_us_bucket{model=\"beer\",le="),
+            std::string::npos)
+      << exposition;
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {

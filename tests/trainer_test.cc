@@ -5,6 +5,7 @@
 
 #include "core/rnp.h"
 #include "data/dataloader.h"
+#include "nn/loss.h"
 #include "datasets/beer.h"
 #include "eval/experiment.h"
 #include "tensor/tensor_ops.h"
@@ -114,6 +115,64 @@ TEST(EvaluateRationaleAccuracyTest, BoundedAndDeterministic) {
   EXPECT_GE(a1, 0.0f);
   EXPECT_LE(a1, 1.0f);
   EXPECT_EQ(a1, a2);  // eval path is deterministic
+}
+
+/// A deliberately defective model: its training loss classifies the full
+/// text and never consults the generator, so every generator parameter is
+/// orphaned from the loss graph — exactly the class of silent wiring bug
+/// audit_first_step exists to catch on step 0.
+class PredictorOnlyModel : public RnpModel {
+ public:
+  using RnpModel::RnpModel;
+
+  ag::Variable TrainLoss(const data::Batch& batch) override {
+    return nn::CrossEntropy(predictor().ForwardFullText(batch), batch.labels);
+  }
+};
+
+TEST(AuditFirstStepTest, CleanModelTrainsNormally) {
+  TrainConfig config = TinyConfig();
+  config.epochs = 1;
+  config.pretrain_epochs = 0;
+  config.audit_first_step = true;
+  auto model = eval::MakeMethod("RNP", TrainerDataset(), config);
+  TrainRun run = Fit(*model, TrainerDataset());
+  EXPECT_EQ(run.epochs.size(), 1u);
+}
+
+TEST(AuditFirstStepDeathTest, SeededDetachedParametersAbortOnStepZero) {
+  TrainConfig config = TinyConfig();
+  config.epochs = 1;
+  config.pretrain_epochs = 0;
+  config.audit_first_step = true;
+  PredictorOnlyModel model(
+      eval::BuildEmbeddings(TrainerDataset(), config), config);
+  EXPECT_DEATH(Fit(model, TrainerDataset()), "audit_first_step");
+}
+
+TEST(AuditFirstStepDeathTest, DefectSurvivesSilentlyWithAuditOff) {
+  // The control: without the audit the defective model trains "fine" —
+  // which is why the first-step audit is worth its one-batch cost.
+  TrainConfig config = TinyConfig();
+  config.epochs = 1;
+  config.pretrain_epochs = 0;
+  config.audit_first_step = false;
+  PredictorOnlyModel model(
+      eval::BuildEmbeddings(TrainerDataset(), config), config);
+  TrainRun run = Fit(model, TrainerDataset());
+  EXPECT_EQ(run.epochs.size(), 1u);
+}
+
+TEST(NamedTrainableParametersTest, CoversEveryTrainableParameter) {
+  auto model = eval::MakeMethod("RNP", TrainerDataset(), TinyConfig());
+  std::vector<nn::NamedParameter> named = model->NamedTrainableParameters();
+  std::vector<ag::Variable> params = model->TrainableParameters();
+  ASSERT_EQ(named.size(), params.size());
+  for (size_t i = 0; i < named.size(); ++i) {
+    EXPECT_FALSE(named[i].name.empty());
+    // Positional correspondence with the optimizer's parameter list.
+    EXPECT_EQ(named[i].variable.node().get(), params[i].node().get());
+  }
 }
 
 }  // namespace
