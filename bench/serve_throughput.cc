@@ -250,6 +250,95 @@ int main(int argc, char** argv) {
                     : "");
   }
 
+  // Serving-cache arms (serve/cache.h). A second session with identical
+  // weights (same seed, same construction) carries the cache so the arms
+  // above stay untouched. Four measurements:
+  //   off    — cache attached but disabled: the per-batch enabled check is
+  //            the only extra work, gated <= 2% against the trace-off arm.
+  //   cold   — enabled cache, every sequence distinct: all misses, i.e. the
+  //            insert-side overhead of populating both tiers.
+  //   warm   — the same stream repeated: encoder-tier hits skip both
+  //            recurrent encoders, the headline speedup.
+  //   prefix — perturbed stream (one word appended): encoder misses but
+  //            embedding rows reuse, the partial-hit path.
+  double cache_off_rps = 0.0, cache_cold_rps = 0.0, cache_warm_rps = 0.0;
+  double cache_prefix_rps = 0.0, cache_hit_rate = 0.0;
+  double cache_embedding_hit_rate = 0.0;
+  {
+    core::TrainConfig cache_config = config;
+    auto cached_model = std::make_unique<core::RnpModel>(
+        eval::BuildEmbeddings(dataset, cache_config), cache_config);
+    serve::InferenceSession cached_session(std::move(cached_model),
+                                           dataset.vocab);
+
+    serve::CacheConfig off_config;  // enabled = false
+    serve::ServeCache off_cache(off_config);
+    cached_session.EnableCache(&off_cache, "bench");
+    for (int rep = 0; rep < 2; ++rep) {
+      cached_session.stats().Reset();
+      cache_off_rps = std::max(cache_off_rps,
+                               MeasureNaive(cached_session, requests));
+    }
+
+    std::vector<std::string> prefix_requests;
+    prefix_requests.reserve(requests.size());
+    for (const std::string& text : requests) {
+      prefix_requests.push_back(text + " " + dataset.vocab.Token(2));
+    }
+
+    serve::CacheConfig on_config;
+    on_config.enabled = true;
+    serve::ServeCache cache(on_config);
+    for (int rep = 0; rep < 2; ++rep) {
+      // Re-enabling issues a fresh cache model id, so every rep starts cold.
+      cached_session.EnableCache(&cache, "bench");
+      serve::ServeCache::ModelId id = cached_session.cache_model_id();
+      cache_cold_rps = std::max(cache_cold_rps,
+                                MeasureNaive(cached_session, requests));
+      serve::CacheTierStats enc_before =
+          cache.Stats(id, serve::ServeCache::kEncoderTierName);
+      double warm = MeasureNaive(cached_session, requests);
+      if (warm > cache_warm_rps) {
+        cache_warm_rps = warm;
+        serve::CacheTierStats enc_after =
+            cache.Stats(id, serve::ServeCache::kEncoderTierName);
+        int64_t hits = enc_after.hits - enc_before.hits;
+        int64_t misses = enc_after.misses - enc_before.misses;
+        cache_hit_rate = static_cast<double>(hits) /
+                         static_cast<double>(std::max<int64_t>(1, hits + misses));
+      }
+      serve::CacheTierStats emb_before =
+          cache.Stats(id, serve::ServeCache::kEmbeddingTierName);
+      double prefix = MeasureNaive(cached_session, prefix_requests);
+      if (prefix > cache_prefix_rps) {
+        cache_prefix_rps = prefix;
+        serve::CacheTierStats emb_after =
+            cache.Stats(id, serve::ServeCache::kEmbeddingTierName);
+        int64_t hits = emb_after.hits - emb_before.hits;
+        int64_t misses = emb_after.misses - emb_before.misses;
+        cache_embedding_hit_rate =
+            static_cast<double>(hits) /
+            static_cast<double>(std::max<int64_t>(1, hits + misses));
+      }
+      cache.InvalidateModel(id);
+    }
+  }
+  const double cache_off_overhead =
+      (levels[0].rps / cache_off_rps - 1.0) * 100.0;
+  std::printf("\nserving cache (naive path, better of 2 reps, baseline =\n"
+              "trace-off arm above):\n");
+  std::printf("  off      %8.0f req/s (%+.2f%% overhead)%s\n", cache_off_rps,
+              cache_off_overhead,
+              cache_off_overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%");
+  std::printf("  cold     %8.0f req/s (%.2fx vs naive, all misses)\n",
+              cache_cold_rps, cache_cold_rps / naive_rps);
+  std::printf("  warm     %8.0f req/s (%.2fx vs naive, hit rate %.3f)\n",
+              cache_warm_rps, cache_warm_rps / naive_rps, cache_hit_rate);
+  std::printf("  prefix   %8.0f req/s (%.2fx vs naive, embedding hit rate "
+              "%.3f)\n",
+              cache_prefix_rps, cache_prefix_rps / naive_rps,
+              cache_embedding_hit_rate);
+
   // HTTP loopback arm: the same request stream through the whole network
   // front — parser, router, micro-batcher — over real loopback sockets
   // with keep-alive clients. The gap to the best in-process batched arm is
@@ -333,6 +422,14 @@ int main(int argc, char** argv) {
   json.Field("sentinel_overhead_record_rps", sentinel_arms[1].rps, 2);
   json.Field("sentinel_overhead_trap_rps", sentinel_arms[2].rps, 2);
   json.Field("sentinel_overhead_off_pct", sentinel_off_overhead, 2);
+  json.Field("cache_off_rps", cache_off_rps, 2);
+  json.Field("cache_off_overhead_pct", cache_off_overhead, 2);
+  json.Field("cache_cold_rps", cache_cold_rps, 2);
+  json.Field("cache_warm_rps", cache_warm_rps, 2);
+  json.Field("cache_warm_speedup", cache_warm_rps / naive_rps);
+  json.Field("cache_hit_rate", cache_hit_rate);
+  json.Field("cache_prefix_rps", cache_prefix_rps, 2);
+  json.Field("cache_embedding_hit_rate", cache_embedding_hit_rate);
   json.Field("http_loopback_rps", http_rps, 2);
   json.Field("http_loopback_fraction_of_best", http_rps / best_rps);
   if (json.Write("BENCH_serve_throughput.json")) {

@@ -2,6 +2,7 @@
 // publish it through the model registry, and serve it over HTTP.
 //
 //   ./build/examples/dar_serve_http [--port N] [--epochs N] [--train N]
+//                                   [--cache-mb N]
 //
 // then, from another terminal:
 //
@@ -47,6 +48,10 @@ int main(int argc, char** argv) {
   int port = 8080;
   int epochs = 6;
   int train_examples = 400;
+  // Serving-cache budget in MiB; 0 disables. On by default here — the
+  // deployment entry point should demonstrate the deployed configuration
+  // (responses are bit-identical either way; see src/serve/cache.h).
+  int cache_mb = 64;
   for (int i = 1; i < argc; ++i) {
     auto int_flag = [&](const char* flag, int* out) {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
@@ -56,11 +61,14 @@ int main(int argc, char** argv) {
       return false;
     };
     if (int_flag("--port", &port) || int_flag("--epochs", &epochs) ||
-        int_flag("--train", &train_examples)) {
+        int_flag("--train", &train_examples) ||
+        int_flag("--cache-mb", &cache_mb)) {
       continue;
     }
     std::fprintf(stderr,
-                 "usage: %s [--port N] [--epochs N] [--train N]\n", argv[0]);
+                 "usage: %s [--port N] [--epochs N] [--train N] "
+                 "[--cache-mb N]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -101,7 +109,13 @@ int main(int argc, char** argv) {
   // 3. Registry + router + server. The router owns the metrics registry;
   //    the server shares it so /metrics also carries connection counters.
   serve::ModelRegistry registry;
-  net::Router router(registry);
+  net::RouterConfig router_config;
+  if (cache_mb > 0) {
+    router_config.serve.cache.enabled = true;
+    router_config.serve.cache.capacity_bytes =
+        static_cast<size_t>(cache_mb) << 20;
+  }
+  net::Router router(registry, router_config);
   router.ServeModel("beer-appearance", session);
 
   net::ServerConfig server_config;

@@ -32,8 +32,12 @@ ag::Variable SpectraModel::TrainLoss(const data::Batch& batch) {
   return ag::Add(ce, omega);
 }
 
-Tensor SpectraModel::EvalMaskConst(const data::Batch& batch) const {
-  Tensor scores = generator_.SelectionLogits(batch).value();
+Tensor SpectraModel::EvalMaskFromStatesConst(const data::Batch& batch,
+                                             const Tensor& gen_states) const {
+  Tensor scores =
+      generator_
+          .SelectionLogitsFromStates(ag::Variable::Constant(gen_states))
+          .value();
   return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
 }
 

@@ -20,7 +20,9 @@ class SpectraModel : public RationalizerBase {
   SpectraModel(Tensor embeddings, TrainConfig config);
 
   ag::Variable TrainLoss(const data::Batch& batch) override;
-  Tensor EvalMaskConst(const data::Batch& batch) const override;
+  /// Test-time selection: budgeted top-k over the selection scores.
+  Tensor EvalMaskFromStatesConst(const data::Batch& batch,
+                                 const Tensor& gen_states) const override;
 };
 
 }  // namespace core

@@ -52,8 +52,12 @@ ag::Variable VibModel::TrainLoss(const data::Batch& batch) {
   return ag::Add(ce, ag::MulScalar(prior_kl, config_.aux_weight));
 }
 
-Tensor VibModel::EvalMaskConst(const data::Batch& batch) const {
-  Tensor scores = generator_.SelectionLogits(batch).value();
+Tensor VibModel::EvalMaskFromStatesConst(const data::Batch& batch,
+                                         const Tensor& gen_states) const {
+  Tensor scores =
+      generator_
+          .SelectionLogitsFromStates(ag::Variable::Constant(gen_states))
+          .value();
   return BudgetTopKMask(scores, batch.valid, config_.sparsity_target);
 }
 

@@ -19,14 +19,25 @@ Generator::Generator(Tensor pretrained_embeddings, const TrainConfig& config,
   RegisterChild("head", &head_);
 }
 
-ag::Variable Generator::SelectionLogits(const data::Batch& batch) const {
-  ag::Variable embedded = embedding_.Forward(batch.tokens);
-  ag::Variable states = encoder_->Encode(embedded, batch.valid);
-  int64_t b = batch.batch_size(), t = batch.max_len();
+ag::Variable Generator::EncodeStates(const data::Batch& batch,
+                                     const Tensor* embedded) const {
+  ag::Variable x = embedded != nullptr ? ag::Variable::Constant(*embedded)
+                                       : embedding_.Forward(batch.tokens);
+  return encoder_->Encode(x, batch.valid);
+}
+
+ag::Variable Generator::SelectionLogitsFromStates(
+    const ag::Variable& states) const {
+  const Tensor& sv = states.value();
+  int64_t b = sv.size(0), t = sv.size(1);
   ag::Variable flat =
       ag::Reshape(states, Shape{b * t, encoder_->output_dim()});
   ag::Variable logits = head_.Forward(flat);  // [B*T, 1]
   return ag::Reshape(logits, Shape{b, t});
+}
+
+ag::Variable Generator::SelectionLogits(const data::Batch& batch) const {
+  return SelectionLogitsFromStates(EncodeStates(batch));
 }
 
 nn::GumbelMask Generator::SampleMask(const data::Batch& batch,
@@ -43,15 +54,17 @@ nn::GumbelMask Generator::SampleMaskWithNoise(const data::Batch& batch,
                                        training(), noise);
 }
 
-Tensor Generator::DeterministicMask(const data::Batch& batch) const {
-  ag::Variable logits = SelectionLogits(batch);
+Tensor Generator::ThresholdMask(const Tensor& logits, const Tensor& valid) {
   // sigmoid(l / tau) > 0.5  <=>  l > 0; gated by validity.
-  Tensor mask(logits.value().shape());
-  const Tensor& lv = logits.value();
+  Tensor mask(logits.shape());
   for (int64_t i = 0; i < mask.numel(); ++i) {
-    mask.flat(i) = (lv.flat(i) > 0.0f && batch.valid.flat(i) > 0.0f) ? 1.0f : 0.0f;
+    mask.flat(i) = (logits.flat(i) > 0.0f && valid.flat(i) > 0.0f) ? 1.0f : 0.0f;
   }
   return mask;
+}
+
+Tensor Generator::DeterministicMask(const data::Batch& batch) const {
+  return ThresholdMask(SelectionLogits(batch).value(), batch.valid);
 }
 
 }  // namespace core

@@ -28,6 +28,20 @@ class Generator : public nn::Module {
   /// Per-token selection logits [B, T].
   ag::Variable SelectionLogits(const data::Batch& batch) const;
 
+  /// Post-encoder hidden states [B, T, output_dim] of the selection
+  /// encoder — the first half of SelectionLogits. When `embedded` is
+  /// non-null it is used as the [B, T, E] embedded input instead of an
+  /// embedding-table lookup; its values must equal the table rows for
+  /// batch.tokens (the serving cache assembles it from cached rows).
+  ag::Variable EncodeStates(const data::Batch& batch,
+                            const Tensor* embedded = nullptr) const;
+
+  /// The selection head over precomputed encoder states [B, T, H] — the
+  /// second half of SelectionLogits. SelectionLogits(batch) ==
+  /// SelectionLogitsFromStates(EncodeStates(batch)) bit-for-bit, which is
+  /// what lets the serving cache store states and re-run only this stage.
+  ag::Variable SelectionLogitsFromStates(const ag::Variable& states) const;
+
   /// Samples a rationale mask for a training batch (stochastic) or derives
   /// the deterministic mask in eval mode.
   nn::GumbelMask SampleMask(const data::Batch& batch, Pcg32& rng) const;
@@ -40,6 +54,10 @@ class Generator : public nn::Module {
 
   /// Deterministic hard mask values (eval mode), [B, T].
   Tensor DeterministicMask(const data::Batch& batch) const;
+
+  /// DeterministicMask's thresholding applied to precomputed selection
+  /// logits: sigmoid(l / tau) > 0.5 <=> l > 0, gated by validity.
+  static Tensor ThresholdMask(const Tensor& logits, const Tensor& valid);
 
   const nn::Embedding& embedding() const { return embedding_; }
 

@@ -33,6 +33,22 @@ ag::Variable Predictor::ForwardWithConstMask(const data::Batch& batch,
   return Forward(batch, ag::Variable::Constant(mask));
 }
 
+ag::Variable Predictor::EncodeWithConstMask(const data::Batch& batch,
+                                            const Tensor& mask,
+                                            const Tensor* embedded) const {
+  ag::Variable x = embedded != nullptr ? ag::Variable::Constant(*embedded)
+                                       : embedding_.Forward(batch.tokens);
+  ag::Variable masked = ag::ScaleLastDim(x, ag::Variable::Constant(mask));
+  return encoder_->Encode(masked, batch.valid);
+}
+
+Tensor Predictor::LogitsFromStatesConst(const Tensor& states,
+                                        const Tensor& valid) const {
+  ag::Variable pooled =
+      nn::MaskedMaxPool(ag::Variable::Constant(states), valid);
+  return head_.Forward(pooled).value();
+}
+
 ag::Variable Predictor::ForwardFullText(const data::Batch& batch) const {
   return ForwardWithConstMask(batch, batch.valid);
 }

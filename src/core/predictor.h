@@ -33,6 +33,23 @@ class Predictor : public nn::Module {
   ag::Variable ForwardWithConstMask(const data::Batch& batch,
                                     const Tensor& mask) const;
 
+  /// Post-encoder hidden states [B, T, output_dim] over the masked input
+  /// Z = M ⊙ X — the first half of ForwardWithConstMask. When `embedded`
+  /// is non-null it replaces the embedding-table lookup for batch.tokens
+  /// (values must equal the table rows; the serving cache assembles it
+  /// from cached rows).
+  ag::Variable EncodeWithConstMask(const data::Batch& batch,
+                                   const Tensor& mask,
+                                   const Tensor* embedded = nullptr) const;
+
+  /// Pool + classification head over precomputed encoder states — the
+  /// second half of ForwardWithConstMask, as a const tensor stage:
+  /// LogitsFromStatesConst(EncodeWithConstMask(b, m).value(), b.valid) is
+  /// bit-identical to ForwardWithConstMask(b, m).value(), which is what
+  /// lets the serving cache store states and re-run only the head.
+  Tensor LogitsFromStatesConst(const Tensor& states,
+                               const Tensor& valid) const;
+
   /// Logits with the full input visible (mask = validity mask). This is the
   /// "accuracy on full text" probe (Fig. 3) and predictor^t pretraining
   /// input (eq. 4).
@@ -48,6 +65,8 @@ class Predictor : public nn::Module {
 
   /// The contextual encoder (mutable: pretraining warm-starts copy into it).
   SequenceEncoder& encoder() { return *encoder_; }
+
+  const nn::Embedding& embedding() const { return embedding_; }
 
  private:
   TrainConfig config_;

@@ -68,7 +68,32 @@ Tensor RationalizerBase::EvalMask(const data::Batch& batch) {
 }
 
 Tensor RationalizerBase::EvalMaskConst(const data::Batch& batch) const {
-  return generator_.DeterministicMask(batch);
+  return EvalMaskFromStatesConst(batch, GenEncoderStatesConst(batch));
+}
+
+Tensor RationalizerBase::GenEncoderStatesConst(const data::Batch& batch,
+                                               const Tensor* embedded) const {
+  return generator_.EncodeStates(batch, embedded).value();
+}
+
+Tensor RationalizerBase::EvalMaskFromStatesConst(const data::Batch& batch,
+                                                 const Tensor& gen_states) const {
+  Tensor logits =
+      generator_
+          .SelectionLogitsFromStates(ag::Variable::Constant(gen_states))
+          .value();
+  return Generator::ThresholdMask(logits, batch.valid);
+}
+
+Tensor RationalizerBase::PredEncoderStatesConst(const data::Batch& batch,
+                                                const Tensor& mask,
+                                                const Tensor* embedded) const {
+  return predictor_.EncodeWithConstMask(batch, mask, embedded).value();
+}
+
+Tensor RationalizerBase::PredictLogitsFromStatesConst(
+    const data::Batch& batch, const Tensor& pred_states) const {
+  return predictor_.LogitsFromStatesConst(pred_states, batch.valid);
 }
 
 int64_t RationalizerBase::TotalParameters() const {
@@ -86,7 +111,8 @@ Tensor RationalizerBase::PredictLogits(const data::Batch& batch,
 
 Tensor RationalizerBase::PredictLogitsConst(const data::Batch& batch,
                                             const Tensor& mask) const {
-  return predictor_.ForwardWithConstMask(batch, mask).value();
+  return PredictLogitsFromStatesConst(batch,
+                                      PredEncoderStatesConst(batch, mask));
 }
 
 std::vector<nn::NamedModule> RationalizerBase::CheckpointModules() {

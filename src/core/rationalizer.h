@@ -81,9 +81,50 @@ class RationalizerBase {
   /// The mask computation behind EvalMask, with no mode toggling: the model
   /// must already be in eval mode (SetTraining(false)). Const and
   /// thread-compatible — the serving layer (src/serve/) calls this from
-  /// many worker threads on distinct batches concurrently. VIB and SPECTRA
-  /// override this with their budgeted top-k selections.
-  virtual Tensor EvalMaskConst(const data::Batch& batch) const;
+  /// many worker threads on distinct batches concurrently.
+  ///
+  /// Non-virtual by design: it is defined as the composition
+  /// EvalMaskFromStatesConst(batch, GenEncoderStatesConst(batch)), so a
+  /// serving cache that stores generator encoder states and re-runs only
+  /// the second stage is bit-identical to this cold path by construction.
+  /// Methods customize the selection rule by overriding
+  /// EvalMaskFromStatesConst (VIB/SPECTRA: budgeted top-k; RNP*: best
+  /// sentence).
+  Tensor EvalMaskConst(const data::Batch& batch) const;
+
+  // ---- Serving-cache decomposition -----------------------------------------
+  //
+  // The serving cache (serve/cache.h) stores the two players' post-encoder
+  // hidden states per token sequence and re-runs only the cheap head
+  // stages on a hit. EvalMaskConst and PredictLogitsConst are defined as
+  // compositions of the four stages below, so "fast path == slow path" is
+  // a structural identity, certified bit-for-bit by
+  // tests/serve_cache_test.cc. All stages require eval mode and are const
+  // and thread-compatible.
+
+  /// Generator's post-encoder hidden states [B, T, H_g]. `embedded`
+  /// optionally substitutes the [B, T, E] embedded input (values must
+  /// equal the embedding-table rows for batch.tokens — the serving cache
+  /// assembles it from cached rows).
+  Tensor GenEncoderStatesConst(const data::Batch& batch,
+                               const Tensor* embedded = nullptr) const;
+
+  /// The eval mask derived from precomputed generator states: selection
+  /// head plus the method's selection rule. Base: per-token sigmoid
+  /// threshold gated on validity.
+  virtual Tensor EvalMaskFromStatesConst(const data::Batch& batch,
+                                         const Tensor& gen_states) const;
+
+  /// Predictor's post-encoder hidden states [B, T, H_p] over the masked
+  /// input Z = M ⊙ X. `embedded` as in GenEncoderStatesConst (note the
+  /// predictor's own table — see serve/cache.h on table sharing).
+  Tensor PredEncoderStatesConst(const data::Batch& batch, const Tensor& mask,
+                                const Tensor* embedded = nullptr) const;
+
+  /// Class logits [B, num_classes] from precomputed predictor states
+  /// (masked max-pool + classification head).
+  Tensor PredictLogitsFromStatesConst(const data::Batch& batch,
+                                      const Tensor& pred_states) const;
 
   /// Number of player modules (Table IV row "modules"): 1 generator +
   /// however many predictors the method uses.
@@ -98,7 +139,9 @@ class RationalizerBase {
   Tensor PredictLogits(const data::Batch& batch, const Tensor& mask);
 
   /// Non-mutating PredictLogits: same eval-mode contract and thread
-  /// compatibility as EvalMaskConst.
+  /// compatibility as EvalMaskConst. Like EvalMaskConst it is the
+  /// composition PredictLogitsFromStatesConst(batch,
+  /// PredEncoderStatesConst(batch, mask)).
   Tensor PredictLogitsConst(const data::Batch& batch, const Tensor& mask) const;
 
   /// Modules included in a saved model, in a stable order. Subclasses with

@@ -174,10 +174,12 @@ ag::Variable SentenceRnpModel::TrainLoss(const data::Batch& batch) {
   return SentenceCoreLoss(batch, nullptr, nullptr);
 }
 
-Tensor SentenceRnpModel::EvalMaskConst(const data::Batch& batch) const {
+Tensor SentenceRnpModel::EvalMaskFromStatesConst(
+    const data::Batch& batch, const Tensor& gen_states) const {
   std::vector<std::vector<SentenceSpan>> sentences =
       SegmentSentences(batch, period_id_);
-  ag::Variable token_logits = generator_.SelectionLogits(batch);
+  ag::Variable token_logits =
+      generator_.SelectionLogitsFromStates(ag::Variable::Constant(gen_states));
   // The eval path (training=false) never draws from the rng, so a throwaway
   // generator keeps this const and thread-compatible.
   Pcg32 unused_rng(0);

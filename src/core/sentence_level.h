@@ -48,7 +48,9 @@ class SentenceRnpModel : public RationalizerBase {
   SentenceRnpModel(Tensor embeddings, TrainConfig config, int64_t period_id);
 
   ag::Variable TrainLoss(const data::Batch& batch) override;
-  Tensor EvalMaskConst(const data::Batch& batch) const override;
+  /// Test-time selection: the argmax sentence under the soft distribution.
+  Tensor EvalMaskFromStatesConst(const data::Batch& batch,
+                                 const Tensor& gen_states) const override;
 
  protected:
   /// Shared by the A2R variant: sample mask + predictor CE (no Omega —

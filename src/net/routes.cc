@@ -92,6 +92,11 @@ Router::Router(serve::ModelRegistry& registry, RouterConfig config)
     metrics_ = owned_metrics_.get();
   }
   registry_->PublishMetrics(metrics_);
+  if (config_.serve.cache.enabled) {
+    cache_ = std::make_unique<serve::ServeCache>(config_.serve.cache);
+    cache_->PublishMetrics(metrics_);
+    registry_->AttachCache(cache_.get());
+  }
 }
 
 Router::~Router() {
@@ -242,7 +247,13 @@ HttpResponse Router::HandlePredict(const std::string& name,
     return response;
   }
   serve::InferenceResult result = future->get();
-  return JsonResponse(200, ResultToJson(name, result));
+  HttpResponse response = JsonResponse(200, ResultToJson(name, result));
+  if (result.cache != serve::CacheOutcome::kUncached) {
+    // Header only — the body stays bit-identical to the uncached path.
+    response.extra_headers.push_back(
+        {"X-DAR-Cache", serve::CacheOutcomeName(result.cache)});
+  }
+  return response;
 }
 
 }  // namespace net

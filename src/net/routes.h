@@ -28,6 +28,7 @@
 #include "net/http.h"
 #include "obs/metrics.h"
 #include "serve/batcher.h"
+#include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/session.h"
 
@@ -45,6 +46,13 @@ struct RouterConfig {
   /// Metrics registry backing /metrics and the HTTP counters; nullptr =
   /// the Router creates and owns a private one. Not owned otherwise.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Serving-stack configuration. When serve.cache.enabled the Router
+  /// owns a ServeCache, attaches it to the model registry (every served
+  /// model joins it), publishes its metrics, and stamps each predict
+  /// response with an X-DAR-Cache: hit|partial|miss header. Off by
+  /// default: responses are bit-identical either way, the header and the
+  /// serve_cache_* series are the only observable difference.
+  serve::ServeConfig serve;
 };
 
 /// Thread-safe request handler over a ModelRegistry. Pass
@@ -79,6 +87,9 @@ class Router {
   /// The registry /metrics exports (the owned one unless injected).
   obs::MetricsRegistry& metrics() { return *metrics_; }
 
+  /// The serving cache, or nullptr when config.serve.cache is disabled.
+  serve::ServeCache* cache() { return cache_.get(); }
+
  private:
   /// A served model: the session plus its batching front. shared_ptr so a
   /// hot-swap cannot pull either from under an in-flight request.
@@ -101,6 +112,7 @@ class Router {
   RouterConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
+  std::unique_ptr<serve::ServeCache> cache_;
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;

@@ -12,17 +12,34 @@ void ModelRegistry::PublishMetrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
 }
 
+void ModelRegistry::AttachCache(ServeCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_ = cache;
+}
+
 void ModelRegistry::Register(const std::string& name,
                              std::shared_ptr<InferenceSession> session) {
   DAR_CHECK(session != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics_ != nullptr) session->BindStats(metrics_, name);
+  if (cache_ != nullptr) session->EnableCache(cache_, name);
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) {
+    // Hot swap: the outgoing session's entries become unreachable dead
+    // bytes (the new session has a fresh cache model id) — reclaim them
+    // now, and block the old session's in-flight inserts.
+    it->second->InvalidateCacheEntries();
+  }
   sessions_[name] = std::move(session);
 }
 
 bool ModelRegistry::Unregister(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return sessions_.erase(name) > 0;
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return false;
+  it->second->InvalidateCacheEntries();
+  sessions_.erase(it);
+  return true;
 }
 
 std::shared_ptr<InferenceSession> ModelRegistry::Get(

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/cache.h"
 #include "serve/session.h"
 
 namespace dar {
@@ -29,15 +30,26 @@ class ModelRegistry {
   /// previous stats binding.
   void PublishMetrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches the serving cache (not owned, must outlive the registry;
+  /// pass nullptr to stop). Subsequent Register(name, session) calls
+  /// enable the cache on the session under the `name` label, and
+  /// replacing or unregistering a session sweeps its cache entries — a
+  /// checkpoint reload through Register can never serve stale states.
+  /// Like PublishMetrics, call before registering sessions.
+  void AttachCache(ServeCache* cache);
+
   /// Registers (or hot-swaps) a session under `name`. When a metrics
   /// registry is attached (PublishMetrics), the session's stats are
   /// rebound to it under the `{model=name}` label — so register sessions
-  /// before they serve traffic.
+  /// before they serve traffic. When a cache is attached (AttachCache)
+  /// the session joins it cold and the replaced session's entries are
+  /// invalidated.
   void Register(const std::string& name,
                 std::shared_ptr<InferenceSession> session);
 
   /// Removes `name`; returns false if it was not registered. In-flight
-  /// requests holding the session keep it alive until they finish.
+  /// requests holding the session keep it alive until they finish (its
+  /// cache entries are invalidated immediately).
   bool Unregister(const std::string& name);
 
   /// The session for `name`, or nullptr.
@@ -57,6 +69,7 @@ class ModelRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<InferenceSession>> sessions_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  ServeCache* cache_ = nullptr;
 };
 
 }  // namespace serve

@@ -1,8 +1,10 @@
 #include "serve/session.h"
 
 #include <chrono>
+#include <cstring>
 #include <utility>
 
+#include "check/sentinel.h"
 #include "data/tokenizer.h"
 #include "obs/trace.h"
 #include "tensor/check.h"
@@ -71,43 +73,178 @@ InferenceResult InferenceSession::Predict(const std::string& text) const {
   return std::move(results[0]);
 }
 
+void InferenceSession::EnableCache(ServeCache* cache,
+                                   const std::string& label) {
+  DAR_CHECK(cache != nullptr);
+  cache_ = cache;
+  cache_model_ = cache->RegisterModel(label);
+  // Both players embed from their own frozen copy of the same pretrained
+  // table; when the copies are still bit-identical one key space serves
+  // both. A method that ever diverged them (fine-tuned tables) degrades
+  // to separate tags, never to wrong rows.
+  const Tensor& gen_table = model_->generator().embedding().table().value();
+  const Tensor& pred_table = model_->predictor().embedding().table().value();
+  bool identical =
+      gen_table.shape() == pred_table.shape() &&
+      std::memcmp(gen_table.data(), pred_table.data(),
+                  static_cast<size_t>(gen_table.numel()) * sizeof(float)) == 0;
+  gen_table_tag_ = 0;
+  pred_table_tag_ = identical ? 0 : 1;
+}
+
+void InferenceSession::InvalidateCacheEntries() const {
+  if (cache_ != nullptr) cache_->InvalidateModel(cache_model_);
+}
+
+InferenceResult InferenceSession::AssembleResult(
+    const std::vector<int64_t>& ids, int64_t i, const Tensor& mask,
+    const Tensor& probs) const {
+  int64_t num_classes = probs.size(1);
+  int64_t len = static_cast<int64_t>(ids.size());
+  InferenceResult r;
+  r.probs.resize(static_cast<size_t>(num_classes));
+  for (int64_t c = 0; c < num_classes; ++c) {
+    r.probs[static_cast<size_t>(c)] = probs.at(i, c);
+    if (probs.at(i, c) > r.probs[static_cast<size_t>(r.label)]) r.label = c;
+  }
+  r.confidence = r.probs[static_cast<size_t>(r.label)];
+  r.tokens.reserve(static_cast<size_t>(len));
+  r.mask.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    r.tokens.push_back(vocab_.Token(ids[static_cast<size_t>(t)]));
+    r.mask.push_back(mask.at(i, t) > 0.5f ? 1 : 0);
+  }
+  r.spans = MaskToSpans(r.mask);
+  for (const RationaleSpan& span : r.spans) {
+    for (int64_t t = span.begin; t < span.end; ++t) {
+      if (!r.rationale_text.empty()) r.rationale_text += ' ';
+      r.rationale_text += r.tokens[static_cast<size_t>(t)];
+    }
+  }
+  return r;
+}
+
+Tensor InferenceSession::AssembleEmbedded(const nn::Embedding& table,
+                                          uint32_t table_tag,
+                                          const std::vector<int64_t>& ids,
+                                          bool* any_row_hit) const {
+  int64_t t_len = static_cast<int64_t>(ids.size());
+  int64_t dim = table.dim();
+  Tensor out(Shape{1, t_len, dim});
+  for (int64_t t = 0; t < t_len; ++t) {
+    int64_t token = ids[static_cast<size_t>(t)];
+    float* dst = out.data() + t * dim;
+    if (cache_->LookupEmbeddingRow(cache_model_, table_tag, token, dst, dim)) {
+      *any_row_hit = true;
+    } else {
+      const float* src = table.RowConst(token);
+      std::memcpy(dst, src, static_cast<size_t>(dim) * sizeof(float));
+      cache_->InsertEmbeddingRow(cache_model_, table_tag, token, src, dim);
+    }
+  }
+  return out;
+}
+
+InferenceResult InferenceSession::PredictOneCached(
+    const std::vector<int64_t>& ids) const {
+  data::Batch batch =
+      data::Batch::FromTokenSequences({ids}, data::Vocabulary::kPadId);
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  Tensor mask;
+  Tensor logits;
+  std::shared_ptr<const EncoderStatesEntry> entry =
+      cache_->LookupEncoderStates(cache_model_, ids);
+  if (entry != nullptr) {
+    outcome = CacheOutcome::kHit;
+    // Restored payloads skipped every autograd-level sentinel when they
+    // were computed in some earlier request, so re-scan them here: a
+    // corrupted cache entry must be caught at restore time, not shipped
+    // as a confident wrong answer.
+    if (check::SentinelEnabled()) {
+      check::ScanForNonFinite("serve.cache_restore", "gen_states",
+                              entry->gen_states.data(),
+                              entry->gen_states.numel());
+      check::ScanForNonFinite("serve.cache_restore", "pred_states",
+                              entry->pred_states.data(),
+                              entry->pred_states.numel());
+    }
+    mask = model_->EvalMaskFromStatesConst(batch, entry->gen_states);
+    logits = model_->PredictLogitsFromStatesConst(batch, entry->pred_states);
+  } else {
+    bool any_row_hit = false;
+    Tensor gen_states;
+    Tensor pred_states;
+    if (cache_->config().embedding_tier) {
+      bool gen_hit = false;
+      bool pred_hit = false;
+      Tensor gen_emb = AssembleEmbedded(model_->generator().embedding(),
+                                        gen_table_tag_, ids, &gen_hit);
+      gen_states = model_->GenEncoderStatesConst(batch, &gen_emb);
+      mask = model_->EvalMaskFromStatesConst(batch, gen_states);
+      Tensor pred_emb = AssembleEmbedded(model_->predictor().embedding(),
+                                         pred_table_tag_, ids, &pred_hit);
+      pred_states = model_->PredEncoderStatesConst(batch, mask, &pred_emb);
+      // With a shared key space the predictor pass trivially hits every
+      // row the generator pass just inserted; only cross-request reuse
+      // should count toward the "partial" outcome.
+      any_row_hit =
+          gen_hit || (pred_table_tag_ != gen_table_tag_ && pred_hit);
+    } else {
+      gen_states = model_->GenEncoderStatesConst(batch);
+      mask = model_->EvalMaskFromStatesConst(batch, gen_states);
+      pred_states = model_->PredEncoderStatesConst(batch, mask);
+    }
+    logits = model_->PredictLogitsFromStatesConst(batch, pred_states);
+    cache_->InsertEncoderStates(cache_model_, ids, std::move(gen_states),
+                                std::move(pred_states));
+    if (any_row_hit) outcome = CacheOutcome::kPartial;
+  }
+  Tensor probs = SoftmaxRows(logits);
+  // The serving path runs no autograd tape in eval composition stages, so
+  // the op-level sentinels never saw these buffers; scan the response
+  // surface directly.
+  if (check::SentinelEnabled()) {
+    check::ScanForNonFinite("serve.forward", "probs", probs.data(),
+                            probs.numel());
+  }
+  InferenceResult r = AssembleResult(ids, 0, mask, probs);
+  r.cache = outcome;
+  return r;
+}
+
 std::vector<InferenceResult> InferenceSession::PredictTokenBatch(
     const std::vector<std::vector<int64_t>>& sequences) const {
   obs::Span span("serve.forward");
+  if (cache_ != nullptr && cache_->config().enabled) {
+    // Cached mode serves per sequence (B=1): each sequence's states are
+    // cacheable independently, and per-sequence forwards are bit-identical
+    // to the padded-batch forward (the micro-batcher's batch-composition
+    // invariance), so responses match the uncached path exactly.
+    std::vector<InferenceResult> results;
+    results.reserve(sequences.size());
+    for (const std::vector<int64_t>& ids : sequences) {
+      results.push_back(PredictOneCached(ids));
+      stats_->RecordBatch(1);
+      stats_->RecordCacheOutcome(results.back().cache);
+    }
+    return results;
+  }
   data::Batch batch =
       data::Batch::FromTokenSequences(sequences, data::Vocabulary::kPadId);
   Tensor mask = model_->EvalMaskConst(batch);
   Tensor logits = model_->PredictLogitsConst(batch, mask);
   Tensor probs = SoftmaxRows(logits);
+  if (check::SentinelEnabled()) {
+    check::ScanForNonFinite("serve.forward", "probs", probs.data(),
+                            probs.numel());
+  }
   stats_->RecordBatch(batch.batch_size());
 
-  int64_t num_classes = logits.size(1);
   std::vector<InferenceResult> results;
   results.reserve(sequences.size());
   for (int64_t i = 0; i < batch.batch_size(); ++i) {
-    const std::vector<int64_t>& ids = sequences[static_cast<size_t>(i)];
-    int64_t len = static_cast<int64_t>(ids.size());
-    InferenceResult r;
-    r.probs.resize(static_cast<size_t>(num_classes));
-    for (int64_t c = 0; c < num_classes; ++c) {
-      r.probs[static_cast<size_t>(c)] = probs.at(i, c);
-      if (probs.at(i, c) > r.probs[static_cast<size_t>(r.label)]) r.label = c;
-    }
-    r.confidence = r.probs[static_cast<size_t>(r.label)];
-    r.tokens.reserve(static_cast<size_t>(len));
-    r.mask.reserve(static_cast<size_t>(len));
-    for (int64_t t = 0; t < len; ++t) {
-      r.tokens.push_back(vocab_.Token(ids[static_cast<size_t>(t)]));
-      r.mask.push_back(mask.at(i, t) > 0.5f ? 1 : 0);
-    }
-    r.spans = MaskToSpans(r.mask);
-    for (const RationaleSpan& span : r.spans) {
-      for (int64_t t = span.begin; t < span.end; ++t) {
-        if (!r.rationale_text.empty()) r.rationale_text += ' ';
-        r.rationale_text += r.tokens[static_cast<size_t>(t)];
-      }
-    }
-    results.push_back(std::move(r));
+    results.push_back(
+        AssembleResult(sequences[static_cast<size_t>(i)], i, mask, probs));
   }
   return results;
 }

@@ -17,6 +17,7 @@
 
 #include "core/rationalizer.h"
 #include "data/vocabulary.h"
+#include "serve/cache.h"
 #include "serve/stats.h"
 
 namespace dar {
@@ -49,6 +50,11 @@ struct InferenceResult {
   std::vector<RationaleSpan> spans;
   /// The selected tokens joined with spaces (the human-readable rationale).
   std::string rationale_text;
+  /// What the serving cache contributed (kUncached when no cache is
+  /// attached). Carried through the micro-batcher so the HTTP layer can
+  /// surface it as the X-DAR-Cache header. Not part of the response body:
+  /// cached and uncached responses are bit-identical.
+  CacheOutcome cache = CacheOutcome::kUncached;
 };
 
 /// Collapses a per-token 0/1 mask into its maximal selected runs.
@@ -105,12 +111,56 @@ class InferenceSession {
   void BindStats(obs::MetricsRegistry* registry,
                  const std::string& model_label);
 
+  /// Attaches the serving cache (not owned, must outlive the session; the
+  /// ModelRegistry calls this from Register when one is attached there).
+  /// Registers this session as a fresh cache model under `label` — a
+  /// session always starts cold, so a checkpoint reload (a new session)
+  /// can never serve the old session's entries. Like BindStats this must
+  /// run before the session serves traffic. When the generator's and
+  /// predictor's frozen embedding tables are bit-identical (they are for
+  /// every stock method — both copy the same pretrained vectors) the two
+  /// players share one embedding-tier key space, halving row storage.
+  void EnableCache(ServeCache* cache, const std::string& label);
+
+  /// Sweeps this session's entries from the attached cache (no-op without
+  /// one). The registry calls this on the replaced session during a
+  /// hot-swap and on Unregister: in-flight requests against the old
+  /// session keep working — they just miss, and their late inserts are
+  /// dropped.
+  void InvalidateCacheEntries() const;
+
+  /// The cache model id this session writes under (0 = no cache).
+  ServeCache::ModelId cache_model_id() const { return cache_model_; }
+
  private:
+  /// Serves one sequence through the cache (B=1 forward). Bit-identical
+  /// to the batched uncached path by the batch-composition invariance the
+  /// micro-batcher certifies.
+  InferenceResult PredictOneCached(const std::vector<int64_t>& ids) const;
+
+  /// Builds the [1, T, E] embedded input for `ids` from cached rows
+  /// (missing rows are read from `table` and published). Sets
+  /// *any_row_hit when at least one row came from the cache.
+  Tensor AssembleEmbedded(const nn::Embedding& table, uint32_t table_tag,
+                          const std::vector<int64_t>& ids,
+                          bool* any_row_hit) const;
+
+  /// Shared result assembly for the batched and cached paths: row `i` of
+  /// `mask` / `probs` rendered against `ids`.
+  InferenceResult AssembleResult(const std::vector<int64_t>& ids, int64_t i,
+                                 const Tensor& mask, const Tensor& probs) const;
+
   std::unique_ptr<core::RationalizerBase> model_;
   data::Vocabulary vocab_;
   /// unique_ptr so BindStats can rebind (ServingStats owns a mutex and is
   /// neither movable nor assignable).
   mutable std::unique_ptr<ServingStats> stats_;
+  ServeCache* cache_ = nullptr;
+  ServeCache::ModelId cache_model_ = 0;
+  /// Embedding-tier key spaces for the two players' tables (equal when
+  /// the tables are bit-identical — see EnableCache).
+  uint32_t gen_table_tag_ = 0;
+  uint32_t pred_table_tag_ = 1;
 };
 
 }  // namespace serve

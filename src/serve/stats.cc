@@ -51,6 +51,12 @@ ServingStats::ServingStats(obs::MetricsRegistry* registry, std::string prefix,
   };
   requests_ = &registry_->GetCounter(name(".requests_total"));
   batches_ = &registry_->GetCounter(name(".batches_total"));
+  cache_hit_requests_ =
+      &registry_->GetCounter(name(".cache_hit_requests_total"));
+  cache_partial_requests_ =
+      &registry_->GetCounter(name(".cache_partial_requests_total"));
+  cache_miss_requests_ =
+      &registry_->GetCounter(name(".cache_miss_requests_total"));
   latency_hist_ =
       &registry_->GetHistogram(name(".latency_us"), obs::DurationBucketsUs());
   batch_size_hist_ =
@@ -70,6 +76,22 @@ void ServingStats::ObserveLatencyLocked(int64_t us) {
   latency_max_us_ = std::max(latency_max_us_, us);
   if (latencies_us_.size() < exact_latency_cap_) latencies_us_.push_back(us);
   latency_hist_->Observe(static_cast<double>(us));
+}
+
+void ServingStats::RecordCacheOutcome(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kUncached:
+      break;
+    case CacheOutcome::kHit:
+      cache_hit_requests_->Increment();
+      break;
+    case CacheOutcome::kPartial:
+      cache_partial_requests_->Increment();
+      break;
+    case CacheOutcome::kMiss:
+      cache_miss_requests_->Increment();
+      break;
+  }
 }
 
 void ServingStats::RecordLatencyUs(int64_t us) {
@@ -112,6 +134,15 @@ StatsSnapshot ServingStats::Snapshot() const {
     }
   }
   snapshot.latency_max_us = latency_max_us_;
+  snapshot.cache_hits = cache_hit_requests_->value();
+  snapshot.cache_partial = cache_partial_requests_->value();
+  snapshot.cache_misses = cache_miss_requests_->value();
+  int64_t cached_total =
+      snapshot.cache_hits + snapshot.cache_partial + snapshot.cache_misses;
+  if (cached_total > 0) {
+    snapshot.cache_hit_rate = static_cast<double>(snapshot.cache_hits) /
+                              static_cast<double>(cached_total);
+  }
   return snapshot;
 }
 
@@ -119,6 +150,9 @@ void ServingStats::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   requests_->Reset();
   batches_->Reset();
+  cache_hit_requests_->Reset();
+  cache_partial_requests_->Reset();
+  cache_miss_requests_->Reset();
   latency_hist_->Reset();
   batch_size_hist_->Reset();
   batch_size_histogram_.clear();

@@ -1,0 +1,718 @@
+// Differential certification of the serving cache (src/serve/cache.h).
+//
+// The cache's contract is absolute: a cached session's responses are
+// bit-identical to an uncached session's on the same checkpoint — same
+// label, same probability bits, same rationale mask — across randomized
+// request streams (repeats, shared prefixes), forced evictions, forced
+// hash collisions, and concurrent checkpoint reloads. Every test here
+// compares against an uncached reference restored from the same
+// checkpoint file, at float-bit granularity.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/sentinel.h"
+#include "core/baselines/vib.h"
+#include "core/dar.h"
+#include "core/rnp.h"
+#include "datasets/beer.h"
+#include "eval/experiment.h"
+#include "net/routes.h"
+#include "serve/cache.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+
+namespace dar {
+namespace serve {
+namespace {
+
+datasets::SyntheticDataset TinyDataset(uint64_t seed = 3) {
+  return datasets::MakeBeerDataset(datasets::BeerAspect::kAppearance,
+                                   {.train = 40, .dev = 10, .test = 10}, seed);
+}
+
+core::TrainConfig TinyConfig(uint64_t seed = 3) {
+  core::TrainConfig config;
+  config.embedding_dim = 16;
+  config.hidden_dim = 8;
+  config.seed = seed;
+  return config;
+}
+
+enum class Method { kRnp, kDar, kVib };
+
+std::unique_ptr<core::RationalizerBase> MakeModel(Method method,
+                                                  const Tensor& embeddings,
+                                                  core::TrainConfig config) {
+  switch (method) {
+    case Method::kRnp:
+      return std::make_unique<core::RnpModel>(embeddings, config);
+    case Method::kDar:
+      return std::make_unique<core::DarModel>(embeddings, config);
+    case Method::kVib:
+      return std::make_unique<core::VibModel>(embeddings, config);
+  }
+  return nullptr;
+}
+
+/// A cached/uncached session pair restored from the SAME checkpoint file,
+/// plus the cache the cached half is attached to.
+struct DifferentialPair {
+  std::unique_ptr<ServeCache> cache;
+  std::unique_ptr<InferenceSession> cached;
+  std::unique_ptr<InferenceSession> uncached;
+  ServeCache::ModelId model_id = 0;
+};
+
+DifferentialPair MakePair(Method method, CacheConfig cache_config,
+                          uint64_t seed = 3) {
+  datasets::SyntheticDataset dataset = TinyDataset(seed);
+  core::TrainConfig config = TinyConfig(seed);
+  Tensor embeddings = eval::BuildEmbeddings(dataset, config);
+
+  auto source = MakeModel(method, embeddings, config);
+  std::string path = ::testing::TempDir() + "/serve_cache_diff_" +
+                     std::to_string(static_cast<int>(method)) + "_" +
+                     std::to_string(seed) + ".ckpt";
+  EXPECT_TRUE(core::SaveRationalizer(*source, path));
+
+  DifferentialPair pair;
+  pair.cache = std::make_unique<ServeCache>(cache_config);
+  // Different construction seeds prove the restore (not shared init luck)
+  // is what makes the two sessions agree.
+  core::TrainConfig cached_config = TinyConfig(seed + 1000);
+  core::TrainConfig uncached_config = TinyConfig(seed + 2000);
+  std::string error;
+  pair.cached = InferenceSession::FromCheckpoint(
+      MakeModel(method, embeddings, cached_config), dataset.vocab, path,
+      &error);
+  EXPECT_NE(pair.cached, nullptr) << error;
+  pair.uncached = InferenceSession::FromCheckpoint(
+      MakeModel(method, embeddings, uncached_config), dataset.vocab, path,
+      &error);
+  EXPECT_NE(pair.uncached, nullptr) << error;
+  pair.cached->EnableCache(pair.cache.get(), "diff");
+  pair.model_id = pair.cached->cache_model_id();
+  std::remove(path.c_str());
+  return pair;
+}
+
+uint32_t FloatBits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// True when the two results agree at float-bit granularity.
+bool BitIdentical(const InferenceResult& a, const InferenceResult& b) {
+  if (a.label != b.label) return false;
+  if (FloatBits(a.confidence) != FloatBits(b.confidence)) return false;
+  if (a.probs.size() != b.probs.size()) return false;
+  for (size_t i = 0; i < a.probs.size(); ++i) {
+    if (FloatBits(a.probs[i]) != FloatBits(b.probs[i])) return false;
+  }
+  return a.mask == b.mask && a.tokens == b.tokens &&
+         a.spans.size() == b.spans.size() &&
+         a.rationale_text == b.rationale_text;
+}
+
+void ExpectBitIdentical(const InferenceResult& a, const InferenceResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.label, b.label) << what;
+  EXPECT_EQ(FloatBits(a.confidence), FloatBits(b.confidence)) << what;
+  ASSERT_EQ(a.probs.size(), b.probs.size()) << what;
+  for (size_t i = 0; i < a.probs.size(); ++i) {
+    EXPECT_EQ(FloatBits(a.probs[i]), FloatBits(b.probs[i]))
+        << what << " probs[" << i << "]";
+  }
+  EXPECT_EQ(a.mask, b.mask) << what;
+  EXPECT_EQ(a.tokens, b.tokens) << what;
+  EXPECT_EQ(a.rationale_text, b.rationale_text) << what;
+}
+
+/// Builds a text of `count` distinct in-vocabulary words starting at
+/// vocab id `first` (ids 0/1 are <pad>/<unk>).
+std::string DistinctText(const data::Vocabulary& vocab, int64_t first,
+                         int64_t count) {
+  std::string text;
+  for (int64_t i = 0; i < count; ++i) {
+    if (i) text += ' ';
+    text += vocab.Token(2 + ((first + i) % (vocab.size() - 2)));
+  }
+  return text;
+}
+
+/// A randomized request stream over `base` texts: repeats (hot keys) and
+/// shared-prefix variants (exercising the embedding tier).
+std::vector<std::string> RandomStream(const std::vector<std::string>& base,
+                                      size_t length, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::string> stream;
+  stream.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    const std::string& pick =
+        base[rng.Below(static_cast<uint32_t>(base.size()))];
+    switch (rng.Below(4)) {
+      case 0: {
+        // Shared-prefix variant: the same words plus a one-word suffix —
+        // a different sequence (encoder miss) reusing cached rows.
+        const std::string& other =
+            base[rng.Below(static_cast<uint32_t>(base.size()))];
+        size_t space = other.find(' ');
+        stream.push_back(pick + ' ' + other.substr(0, space));
+        break;
+      }
+      default:
+        stream.push_back(pick);
+    }
+  }
+  return stream;
+}
+
+// ---- Differential certification --------------------------------------------
+
+TEST(ServeCacheDifferentialTest, RandomizedStreamsBitIdenticalAcrossMethods) {
+  for (Method method : {Method::kRnp, Method::kDar, Method::kVib}) {
+    CacheConfig config;
+    config.enabled = true;
+    DifferentialPair pair = MakePair(method, config);
+    ASSERT_NE(pair.cached, nullptr);
+    ASSERT_NE(pair.uncached, nullptr);
+
+    std::vector<std::string> base;
+    for (int64_t i = 0; i < 12; ++i) {
+      base.push_back(
+          DistinctText(pair.cached->vocab(), i * 7, 3 + (i % 9)));
+    }
+    std::vector<std::string> stream = RandomStream(base, 80, /*seed=*/41);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ExpectBitIdentical(pair.cached->Predict(stream[i]),
+                         pair.uncached->Predict(stream[i]),
+                         "method=" + std::to_string(static_cast<int>(method)) +
+                             " request " + std::to_string(i));
+    }
+    // The stream's repeats must actually have exercised the fast path.
+    CacheTierStats enc =
+        pair.cache->Stats(pair.model_id, ServeCache::kEncoderTierName);
+    EXPECT_GT(enc.hits, 0) << "stream never hit the encoder tier";
+    CacheTierStats emb =
+        pair.cache->Stats(pair.model_id, ServeCache::kEmbeddingTierName);
+    EXPECT_GT(emb.hits, 0) << "stream never hit the embedding tier";
+  }
+}
+
+TEST(ServeCacheDifferentialTest, BatchedRequestsMatchUncachedBatches) {
+  CacheConfig config;
+  config.enabled = true;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+
+  std::vector<std::vector<int64_t>> sequences;
+  for (int64_t i = 0; i < 10; ++i) {
+    sequences.push_back(pair.cached->Encode(
+        DistinctText(pair.cached->vocab(), i * 3, 2 + (i % 7))));
+  }
+  // Twice: the second pass serves fully from the encoder tier, and both
+  // passes must equal the uncached padded-batch forward.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<InferenceResult> cached =
+        pair.cached->PredictTokenBatch(sequences);
+    std::vector<InferenceResult> uncached =
+        pair.uncached->PredictTokenBatch(sequences);
+    ASSERT_EQ(cached.size(), uncached.size());
+    for (size_t i = 0; i < cached.size(); ++i) {
+      ExpectBitIdentical(cached[i], uncached[i],
+                         "pass " + std::to_string(pass) + " row " +
+                             std::to_string(i));
+      if (pass == 1) {
+        EXPECT_EQ(cached[i].cache, CacheOutcome::kHit);
+      }
+    }
+  }
+}
+
+TEST(ServeCacheDifferentialTest, ForcedEvictionsStayBitIdentical) {
+  CacheConfig config;
+  config.enabled = true;
+  // A few KB across 2 shards: a working set of 40 sequences cannot fit,
+  // so the repeat pass recomputes through evicted keys constantly.
+  config.capacity_bytes = 8 * 1024;
+  config.num_shards = 2;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+
+  std::vector<std::string> texts;
+  for (int64_t i = 0; i < 40; ++i) {
+    texts.push_back(DistinctText(pair.cached->vocab(), i * 5, 4 + (i % 8)));
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& text : texts) {
+      ExpectBitIdentical(pair.cached->Predict(text),
+                         pair.uncached->Predict(text), "eviction stream");
+    }
+  }
+  CacheTierStats enc =
+      pair.cache->Stats(pair.model_id, ServeCache::kEncoderTierName);
+  EXPECT_GT(enc.evictions, 0) << "capacity was meant to force evictions";
+  EXPECT_LE(enc.bytes, static_cast<int64_t>(config.capacity_bytes));
+}
+
+TEST(ServeCacheDifferentialTest, HashCollisionsVerifiedAndRejected) {
+  CacheConfig config;
+  config.enabled = true;
+  // Every sequence digests to the same value: every cross-sequence lookup
+  // is a collision the full-id comparison must reject.
+  config.sequence_hash_override = [](const std::vector<int64_t>&) {
+    return uint64_t{42};
+  };
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+
+  std::string a = DistinctText(pair.cached->vocab(), 0, 5);
+  std::string b = DistinctText(pair.cached->vocab(), 10, 5);
+  ASSERT_NE(a, b);
+
+  ExpectBitIdentical(pair.cached->Predict(a), pair.uncached->Predict(a),
+                     "collision A cold");
+  // Same sequence, same digest, ids verify: a genuine hit.
+  InferenceResult repeat = pair.cached->Predict(a);
+  EXPECT_EQ(repeat.cache, CacheOutcome::kHit);
+  // Different sequence, same digest: must NOT serve A's states.
+  ExpectBitIdentical(pair.cached->Predict(b), pair.uncached->Predict(b),
+                     "collision B rejects A's entry");
+  // B displaced A under the shared digest; A must again recompute, not
+  // serve B's states.
+  ExpectBitIdentical(pair.cached->Predict(a), pair.uncached->Predict(a),
+                     "collision A rejects B's entry");
+
+  CacheTierStats enc =
+      pair.cache->Stats(pair.model_id, ServeCache::kEncoderTierName);
+  EXPECT_GE(enc.collisions, 2);
+  EXPECT_EQ(enc.hits, 1);
+}
+
+// ---- Outcome classification ------------------------------------------------
+
+TEST(ServeCacheOutcomeTest, MissThenHitThenPartial) {
+  CacheConfig config;
+  config.enabled = true;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+  const data::Vocabulary& vocab = pair.cached->vocab();
+
+  std::string text = DistinctText(vocab, 0, 6);
+  EXPECT_EQ(pair.cached->Predict(text).cache, CacheOutcome::kMiss);
+  EXPECT_EQ(pair.cached->Predict(text).cache, CacheOutcome::kHit);
+  // Same words, different order: encoder misses (different sequence),
+  // embedding rows all hit.
+  std::string permuted = DistinctText(vocab, 3, 3) + ' ' +
+                         DistinctText(vocab, 0, 3);
+  EXPECT_EQ(pair.cached->Predict(permuted).cache, CacheOutcome::kPartial);
+  // Fresh words again: a clean miss.
+  EXPECT_EQ(pair.cached->Predict(DistinctText(vocab, 40, 6)).cache,
+            CacheOutcome::kMiss);
+}
+
+TEST(ServeCacheOutcomeTest, EmbeddingTierOnlyNeverFullyHits) {
+  CacheConfig config;
+  config.enabled = true;
+  config.encoder_tier = false;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+
+  std::string text = DistinctText(pair.cached->vocab(), 0, 6);
+  EXPECT_EQ(pair.cached->Predict(text).cache, CacheOutcome::kMiss);
+  InferenceResult repeat = pair.cached->Predict(text);
+  EXPECT_EQ(repeat.cache, CacheOutcome::kPartial);
+  ExpectBitIdentical(repeat, pair.uncached->Predict(text),
+                     "embedding tier only");
+}
+
+TEST(ServeCacheOutcomeTest, EncoderTierOnlyNeverPartial) {
+  CacheConfig config;
+  config.enabled = true;
+  config.embedding_tier = false;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+
+  std::string text = DistinctText(pair.cached->vocab(), 0, 6);
+  EXPECT_EQ(pair.cached->Predict(text).cache, CacheOutcome::kMiss);
+  EXPECT_EQ(pair.cached->Predict(text).cache, CacheOutcome::kHit);
+  CacheTierStats emb =
+      pair.cache->Stats(pair.model_id, ServeCache::kEmbeddingTierName);
+  EXPECT_EQ(emb.hits + emb.misses, 0);
+}
+
+TEST(ServeCacheOutcomeTest, DisabledCacheReportsUncached) {
+  auto session_pair = MakePair(Method::kRnp, CacheConfig{});  // enabled=false
+  std::string text = DistinctText(session_pair.cached->vocab(), 0, 4);
+  EXPECT_EQ(session_pair.cached->Predict(text).cache, CacheOutcome::kUncached);
+  EXPECT_EQ(session_pair.uncached->Predict(text).cache,
+            CacheOutcome::kUncached);
+}
+
+TEST(ServeCacheOutcomeTest, OutcomeNames) {
+  EXPECT_STREQ(CacheOutcomeName(CacheOutcome::kUncached), "uncached");
+  EXPECT_STREQ(CacheOutcomeName(CacheOutcome::kMiss), "miss");
+  EXPECT_STREQ(CacheOutcomeName(CacheOutcome::kPartial), "partial");
+  EXPECT_STREQ(CacheOutcomeName(CacheOutcome::kHit), "hit");
+}
+
+// ---- Sentinels on the cache-restore path -----------------------------------
+
+TEST(ServeCacheSentinelTest, CorruptedEntryRecordedInRecordMode) {
+  CacheConfig config;
+  config.enabled = true;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+  std::string text = DistinctText(pair.cached->vocab(), 0, 5);
+  std::vector<int64_t> ids = pair.cached->Encode(text);
+  pair.cached->Predict(text);  // warm
+  ASSERT_TRUE(pair.cache->CorruptEncoderEntryForTesting(pair.model_id, ids));
+
+  check::DrainSentinelFindings();
+  check::SetSentinelMode(check::SentinelMode::kRecord);
+  pair.cached->Predict(text);
+  check::SetSentinelMode(check::SentinelMode::kOff);
+
+  std::vector<check::SentinelFinding> findings =
+      check::DrainSentinelFindings();
+  bool found = false;
+  for (const check::SentinelFinding& f : findings) {
+    if (f.op == "serve.cache_restore") found = true;
+  }
+  EXPECT_TRUE(found)
+      << "corrupted cached states must be attributed to the restore scan";
+}
+
+TEST(ServeCacheSentinelTest, OffModeStillServes) {
+  CacheConfig config;
+  config.enabled = true;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+  std::string text = DistinctText(pair.cached->vocab(), 0, 5);
+  std::vector<int64_t> ids = pair.cached->Encode(text);
+  pair.cached->Predict(text);
+  ASSERT_TRUE(pair.cache->CorruptEncoderEntryForTesting(pair.model_id, ids));
+  // kOff: no scan, the request completes (the poisoned value propagates —
+  // exactly why the record/trap modes exist).
+  check::SetSentinelMode(check::SentinelMode::kOff);
+  InferenceResult r = pair.cached->Predict(text);
+  EXPECT_EQ(r.cache, CacheOutcome::kHit);
+}
+
+TEST(ServeCacheSentinelDeathTest, TrapModeAbortsOnCorruptedEntry) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  CacheConfig config;
+  config.enabled = true;
+  DifferentialPair pair = MakePair(Method::kRnp, config);
+  std::string text = DistinctText(pair.cached->vocab(), 0, 5);
+  std::vector<int64_t> ids = pair.cached->Encode(text);
+  pair.cached->Predict(text);
+  ASSERT_TRUE(pair.cache->CorruptEncoderEntryForTesting(pair.model_id, ids));
+  EXPECT_DEATH(
+      {
+        check::SetSentinelMode(check::SentinelMode::kTrap);
+        pair.cached->Predict(text);
+      },
+      "serve.cache_restore");
+  check::SetSentinelMode(check::SentinelMode::kOff);
+}
+
+// ---- LRU mechanics ----------------------------------------------------------
+
+TEST(ServeCacheLruTest, MostRecentSurvivesEviction) {
+  CacheConfig config;
+  config.enabled = true;
+  config.encoder_tier = false;
+  config.num_shards = 1;
+  // Budget for roughly two embedding rows (row = 16 floats + overhead).
+  config.capacity_bytes = 2 * (16 * sizeof(float) + 96);
+  ServeCache cache(config);
+  ServeCache::ModelId model = cache.RegisterModel("lru");
+
+  std::vector<float> row(16, 1.0f);
+  std::vector<float> out(16);
+  for (int64_t token = 0; token < 8; ++token) {
+    row[0] = static_cast<float>(token);
+    cache.InsertEmbeddingRow(model, 0, token, row.data(), 16);
+    // The just-inserted row must always be resident.
+    ASSERT_TRUE(cache.LookupEmbeddingRow(model, 0, token, out.data(), 16));
+    EXPECT_EQ(out[0], static_cast<float>(token));
+  }
+  CacheTierStats emb = cache.Stats(model, ServeCache::kEmbeddingTierName);
+  EXPECT_GT(emb.evictions, 0);
+  EXPECT_LE(emb.entries, 2);
+  // Oldest rows are gone; the newest survives.
+  EXPECT_FALSE(cache.LookupEmbeddingRow(model, 0, 0, out.data(), 16));
+  EXPECT_TRUE(cache.LookupEmbeddingRow(model, 0, 7, out.data(), 16));
+}
+
+TEST(ServeCacheLruTest, LookupRefreshesRecency) {
+  CacheConfig config;
+  config.enabled = true;
+  config.encoder_tier = false;
+  config.num_shards = 1;
+  config.capacity_bytes = 2 * (16 * sizeof(float) + 96);
+  ServeCache cache(config);
+  ServeCache::ModelId model = cache.RegisterModel("lru");
+
+  std::vector<float> row(16, 1.0f);
+  std::vector<float> out(16);
+  cache.InsertEmbeddingRow(model, 0, 1, row.data(), 16);
+  cache.InsertEmbeddingRow(model, 0, 2, row.data(), 16);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.LookupEmbeddingRow(model, 0, 1, out.data(), 16));
+  cache.InsertEmbeddingRow(model, 0, 3, row.data(), 16);
+  EXPECT_TRUE(cache.LookupEmbeddingRow(model, 0, 1, out.data(), 16));
+  EXPECT_FALSE(cache.LookupEmbeddingRow(model, 0, 2, out.data(), 16));
+}
+
+// ---- Invalidation and reload ------------------------------------------------
+
+TEST(ServeCacheInvalidationTest, RegistryReloadStartsColdAndSweeps) {
+  CacheConfig config;
+  config.enabled = true;
+  ServeCache cache(config);
+  ModelRegistry registry;
+  registry.AttachCache(&cache);
+
+  datasets::SyntheticDataset dataset = TinyDataset();
+  core::TrainConfig model_config = TinyConfig();
+  Tensor embeddings = eval::BuildEmbeddings(dataset, model_config);
+  auto make_session = [&](uint64_t seed) {
+    core::TrainConfig c = TinyConfig(seed);
+    return std::make_shared<InferenceSession>(
+        MakeModel(Method::kRnp, embeddings, c), dataset.vocab);
+  };
+
+  auto first = make_session(3);
+  registry.Register("m", first);
+  ServeCache::ModelId first_id = first->cache_model_id();
+  std::string text = DistinctText(first->vocab(), 0, 5);
+  registry.Predict("m", text);
+  EXPECT_GT(cache.Stats(first_id, ServeCache::kEncoderTierName).entries, 0);
+
+  // Hot swap = new cache model id, old entries swept.
+  auto second = make_session(17);
+  registry.Register("m", second);
+  ServeCache::ModelId second_id = second->cache_model_id();
+  EXPECT_NE(first_id, second_id);
+  EXPECT_EQ(cache.Stats(first_id, ServeCache::kEncoderTierName).entries, 0);
+  EXPECT_EQ(cache.Stats(first_id, ServeCache::kEncoderTierName).bytes, 0);
+
+  // The reloaded model starts cold — its first request is a miss even
+  // though the old model served the same text.
+  std::optional<InferenceResult> r = registry.Predict("m", text);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cache, CacheOutcome::kMiss);
+
+  // Late inserts from the invalidated session are dropped.
+  first->Predict(text);
+  EXPECT_EQ(cache.Stats(first_id, ServeCache::kEncoderTierName).entries, 0);
+
+  registry.Unregister("m");
+  EXPECT_EQ(cache.Stats(second_id, ServeCache::kEncoderTierName).entries, 0);
+}
+
+// ---- Concurrency (the TSan lane runs this) ----------------------------------
+
+TEST(ServeCacheConcurrencyTest, EightClientsTwoModelsConcurrentReload) {
+  CacheConfig config;
+  config.enabled = true;
+  config.capacity_bytes = 1 << 20;
+  ServeCache cache(config);
+  ModelRegistry registry;
+  registry.AttachCache(&cache);
+
+  datasets::SyntheticDataset dataset = TinyDataset();
+  Tensor embeddings = eval::BuildEmbeddings(dataset, TinyConfig());
+  const std::vector<std::string> names = {"m0", "m1"};
+  const std::vector<uint64_t> gen1_seeds = {3, 7};
+  const std::vector<uint64_t> gen2_seeds = {13, 17};
+
+  auto make_session = [&](uint64_t seed) {
+    return std::make_shared<InferenceSession>(
+        MakeModel(Method::kRnp, embeddings, TinyConfig(seed)), dataset.vocab);
+  };
+  // Uncached references for both checkpoint generations of both models.
+  std::vector<std::unique_ptr<InferenceSession>> gen1_ref, gen2_ref;
+  for (size_t m = 0; m < 2; ++m) {
+    gen1_ref.push_back(std::make_unique<InferenceSession>(
+        MakeModel(Method::kRnp, embeddings, TinyConfig(gen1_seeds[m])),
+        dataset.vocab));
+    gen2_ref.push_back(std::make_unique<InferenceSession>(
+        MakeModel(Method::kRnp, embeddings, TinyConfig(gen2_seeds[m])),
+        dataset.vocab));
+  }
+
+  std::vector<std::string> texts;
+  for (int64_t i = 0; i < 8; ++i) {
+    texts.push_back(DistinctText(dataset.vocab, i * 3, 3 + (i % 5)));
+  }
+  // Expected responses per (model, generation, text), computed uncached.
+  std::vector<std::vector<InferenceResult>> gen1_expected(2), gen2_expected(2);
+  for (size_t m = 0; m < 2; ++m) {
+    for (const std::string& text : texts) {
+      gen1_expected[m].push_back(gen1_ref[m]->Predict(text));
+      gen2_expected[m].push_back(gen2_ref[m]->Predict(text));
+    }
+  }
+
+  registry.Register(names[0], make_session(gen1_seeds[0]));
+  registry.Register(names[1], make_session(gen1_seeds[1]));
+
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c]() {
+      while (!start.load()) std::this_thread::yield();
+      Pcg32 rng(static_cast<uint64_t>(1000 + c));
+      for (int i = 0; i < 60; ++i) {
+        size_t m = (static_cast<size_t>(c) + static_cast<size_t>(i)) % 2;
+        size_t t = rng.Below(static_cast<uint32_t>(texts.size()));
+        std::optional<InferenceResult> r =
+            registry.Predict(names[m], texts[t]);
+        if (!r.has_value()) {
+          ++mismatches;
+          continue;
+        }
+        // During the hot swap a response may come from either checkpoint
+        // generation — but never from a mixture, and never stale states
+        // under the new generation's id.
+        if (!BitIdentical(*r, gen1_expected[m][t]) &&
+            !BitIdentical(*r, gen2_expected[m][t])) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  start.store(true);
+  // Concurrent checkpoint reload of both models while clients hammer.
+  registry.Register(names[0], make_session(gen2_seeds[0]));
+  registry.Register(names[1], make_session(gen2_seeds[1]));
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // After the reload settles every response matches generation 2 exactly
+  // (warm pass immediately after a cold pass: hits must stay exact too).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t m = 0; m < 2; ++m) {
+      for (size_t t = 0; t < texts.size(); ++t) {
+        std::optional<InferenceResult> r =
+            registry.Predict(names[m], texts[t]);
+        ASSERT_TRUE(r.has_value());
+        ExpectBitIdentical(*r, gen2_expected[m][t],
+                           "post-reload model " + names[m] + " text " +
+                               std::to_string(t));
+      }
+    }
+  }
+}
+
+// ---- Metrics & stats surfaces ------------------------------------------------
+
+TEST(ServeCacheMetricsTest, PrometheusExposesPerModelPerTierSeries) {
+  CacheConfig config;
+  config.enabled = true;
+  ServeCache cache(config);
+  obs::MetricsRegistry metrics;
+  cache.PublishMetrics(&metrics);
+
+  ModelRegistry registry;
+  registry.PublishMetrics(&metrics);
+  registry.AttachCache(&cache);
+
+  datasets::SyntheticDataset dataset = TinyDataset();
+  Tensor embeddings = eval::BuildEmbeddings(dataset, TinyConfig());
+  auto session = std::make_shared<InferenceSession>(
+      MakeModel(Method::kRnp, embeddings, TinyConfig()), dataset.vocab);
+  registry.Register("beer", session);
+
+  std::string text = DistinctText(dataset.vocab, 0, 5);
+  registry.Predict("beer", text);
+  registry.Predict("beer", text);
+
+  std::string exposition = metrics.ExportPrometheus();
+  EXPECT_NE(exposition.find(
+                "serve_cache_hits_total{model=\"beer\",tier=\"encoder\"}"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find(
+                "serve_cache_misses_total{model=\"beer\",tier=\"encoder\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("serve_cache_bytes{model=\"beer\","),
+            std::string::npos);
+  EXPECT_NE(exposition.find("serve_cache_hit_rate{model=\"beer\","),
+            std::string::npos);
+
+  // Request-level outcome counters on the session's serving stats.
+  StatsSnapshot snapshot = session->stats().Snapshot();
+  EXPECT_EQ(snapshot.cache_misses, 1);
+  EXPECT_EQ(snapshot.cache_hits, 1);
+  EXPECT_DOUBLE_EQ(snapshot.cache_hit_rate, 0.5);
+}
+
+TEST(ServeCacheMetricsTest, HitRateGaugeTracksLookups) {
+  CacheConfig config;
+  config.enabled = true;
+  ServeCache cache(config);
+  obs::MetricsRegistry metrics;
+  cache.PublishMetrics(&metrics);
+  ServeCache::ModelId model = cache.RegisterModel("g");
+
+  std::vector<int64_t> ids = {5, 6, 7};
+  EXPECT_EQ(cache.LookupEncoderStates(model, ids), nullptr);
+  cache.InsertEncoderStates(model, ids, Tensor(Shape{1, 3, 4}),
+                            Tensor(Shape{1, 3, 4}));
+  EXPECT_NE(cache.LookupEncoderStates(model, ids), nullptr);
+  double rate =
+      metrics
+          .GetGauge(obs::LabeledName("serve.cache_hit_rate",
+                                     {{"model", "g"}, {"tier", "encoder"}}))
+          .value();
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+}
+
+// ---- HTTP header mapping -----------------------------------------------------
+
+TEST(ServeCacheHttpTest, PredictResponsesCarryCacheHeader) {
+  net::RouterConfig router_config;
+  router_config.serve.cache.enabled = true;
+  ModelRegistry registry;
+  net::Router router(registry, router_config);
+  ASSERT_NE(router.cache(), nullptr);
+
+  datasets::SyntheticDataset dataset = TinyDataset();
+  Tensor embeddings = eval::BuildEmbeddings(dataset, TinyConfig());
+  router.ServeModel("beer",
+                    std::make_shared<InferenceSession>(
+                        MakeModel(Method::kRnp, embeddings, TinyConfig()),
+                        dataset.vocab));
+
+  net::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/models/beer/predict";
+  request.version = "HTTP/1.1";
+  request.body = "{\"text\": \"" + DistinctText(dataset.vocab, 0, 5) + "\"}";
+
+  auto cache_header = [](const net::HttpResponse& response) -> std::string {
+    for (const auto& [k, v] : response.extra_headers) {
+      if (k == "X-DAR-Cache") return v;
+    }
+    return "";
+  };
+  net::HttpResponse first = router.Handle(request);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(cache_header(first), "miss");
+  net::HttpResponse second = router.Handle(request);
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(cache_header(second), "hit");
+  // Bodies are bit-identical across outcomes — the header is the only
+  // observable difference.
+  EXPECT_EQ(first.body, second.body);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dar
