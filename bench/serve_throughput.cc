@@ -7,9 +7,11 @@
 // requests/sec; the baseline serves the same requests sequentially through
 // InferenceSession::Predict. The table reports throughput, speedup over
 // the baseline, achieved mean batch size, and latency percentiles.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
@@ -20,6 +22,9 @@
 #include "net/http.h"
 #include "net/routes.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace_context.h"
 #include "serve/batcher.h"
 #include "serve/registry.h"
 #include "serve/session.h"
@@ -85,6 +90,49 @@ double MeasureBatched(const serve::InferenceSession& session,
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   return static_cast<double>(requests.size()) / elapsed.count();
+}
+
+/// Median-of-N rate with the rep-to-rep spread ((max-min)/median, percent)
+/// recorded alongside. The overhead gates below compare two arms whose true
+/// difference is a couple percent; a better-of-2 estimator lets one noisy
+/// rep on either side swing the verdict (the sentinel-off gate once read
+/// 5% purely from scheduler noise). The median is robust to a disturbed
+/// rep, and the spread states how much the verdict can be trusted: an
+/// overhead reading well inside the spread is noise, not regression.
+struct RepeatedRate {
+  double median = 0.0;
+  double spread_pct = 0.0;
+};
+
+RepeatedRate MedianOf(std::vector<double> rates) {
+  std::sort(rates.begin(), rates.end());
+  RepeatedRate out;
+  out.median = rates[rates.size() / 2];
+  if (out.median > 0.0) {
+    out.spread_pct = (rates.back() - rates.front()) / out.median * 100.0;
+  }
+  return out;
+}
+
+/// Gate verdict that uses the recorded spreads: a reading over the 2%
+/// threshold but inside the combined rep-to-rep spread of the two arms
+/// being compared is indistinguishable from noise and must not read as a
+/// regression (nor as a clean pass — it reads as an inconclusive run).
+const char* GateVerdict(double overhead_pct, const RepeatedRate& baseline,
+                        const RepeatedRate& arm) {
+  if (overhead_pct <= 2.0) return "  PASS <= 2%";
+  if (overhead_pct <= 0.5 * (baseline.spread_pct + arm.spread_pct)) {
+    return "  over 2% but within rep spread — rerun to confirm";
+  }
+  return "  ABOVE 2%";
+}
+
+template <typename Fn>
+RepeatedRate MeasureMedian(int reps, Fn&& once) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) rates.push_back(once());
+  return MedianOf(std::move(rates));
 }
 
 }  // namespace
@@ -181,87 +229,99 @@ int main(int argc, char** argv) {
               best_rps / naive_rps,
               best_rps / naive_rps >= 4.0 ? "PASS >= 4x" : "BELOW 4x target");
 
-  // Span overhead: the naive path re-measured at every trace level, better
-  // of two reps each. kOff is the shipping default (a Span is one relaxed
-  // atomic load); kCoarse adds one steady_clock pair per request; kDetailed
-  // times every matmul/GRU step/Gumbel sample inside the forward.
-  struct OverheadArm {
+  // Overhead arms on the naive path, all measured *interleaved*: each
+  // round takes one rep of every arm before any arm gets its second rep,
+  // so slow machine drift (thermal, co-tenants) lands on every arm
+  // equally, and each arm reports the median of its reps with the
+  // rep-to-rep spread alongside. The previous one-arm-at-a-time
+  // better-of-2 scheme compared runs taken minutes apart; the
+  // sentinel-off arm — the *same configuration* as the trace-off
+  // baseline — once recorded a 5% "overhead" that was pure drift.
+  //
+  // Arms: baseline is the shipping default (trace kOff, sentinel kOff; a
+  // Span is one relaxed atomic load, every sentinel hook one relaxed
+  // load + predictable branch). kCoarse adds one steady_clock pair per
+  // request; kDetailed times every matmul/GRU step/Gumbel sample.
+  // sent-off duplicates the baseline configuration on purpose: it is an
+  // A/A arm whose gated "overhead" measures the residual noise floor of
+  // this harness — if it fails its gate, no other verdict here means
+  // anything. kRecord/kTrap scan every op output and gradient; reported
+  // for calibration, not gated.
+  const int overhead_reps = options.quick ? 3 : 5;
+  struct NaiveArm {
     const char* label;
     obs::TraceLevel level;
-    double rps = 0.0;
-  };
-  std::vector<OverheadArm> levels = {{"off", obs::TraceLevel::kOff},
-                                     {"coarse", obs::TraceLevel::kCoarse},
-                                     {"detailed", obs::TraceLevel::kDetailed}};
-  for (OverheadArm& arm : levels) {
-    obs::SetTraceLevel(arm.level);
-    for (int rep = 0; rep < 2; ++rep) {
-      session.stats().Reset();
-      arm.rps = std::max(arm.rps, MeasureNaive(session, requests));
-    }
-  }
-  obs::SetTraceLevel(obs::TraceLevel::kOff);
-  std::printf("\nspan overhead on the naive path (better of 2 reps):\n");
-  std::printf("  off      %8.0f req/s (baseline)\n", levels[0].rps);
-  double coarse_overhead = 0.0;
-  for (size_t i = 1; i < levels.size(); ++i) {
-    const double overhead = (levels[0].rps / levels[i].rps - 1.0) * 100.0;
-    if (i == 1) coarse_overhead = overhead;
-    std::printf("  %-8s %8.0f req/s (%+.2f%% overhead)%s\n", levels[i].label,
-                levels[i].rps, overhead,
-                i == 1 ? (overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%")
-                       : "");
-  }
-
-  // Sentinel overhead: the same naive path re-measured at every sentinel
-  // mode. kOff is the shipping default — every hook (Tensor::Scratch,
-  // MakeOpResult, Backward) is one relaxed atomic load and a predictable
-  // branch, which the <= 2% gate below guards against regression. kRecord
-  // and kTrap scan every op output and every gradient, so their cost is
-  // reported for calibration, not gated.
-  struct SentinelArm {
-    const char* label;
     check::SentinelMode mode;
-    double rps = 0.0;
+    bool gated;
+    RepeatedRate rate;
   };
-  std::vector<SentinelArm> sentinel_arms = {
-      {"off", check::SentinelMode::kOff},
-      {"record", check::SentinelMode::kRecord},
-      {"trap", check::SentinelMode::kTrap}};
-  for (SentinelArm& arm : sentinel_arms) {
-    check::SetSentinelMode(arm.mode);
-    for (int rep = 0; rep < 2; ++rep) {
-      session.stats().Reset();
-      arm.rps = std::max(arm.rps, MeasureNaive(session, requests));
+  std::vector<NaiveArm> naive_arms = {
+      {"baseline", obs::TraceLevel::kOff, check::SentinelMode::kOff, false,
+       {}},
+      {"coarse", obs::TraceLevel::kCoarse, check::SentinelMode::kOff, true,
+       {}},
+      {"detailed", obs::TraceLevel::kDetailed, check::SentinelMode::kOff,
+       false, {}},
+      {"sent-off", obs::TraceLevel::kOff, check::SentinelMode::kOff, true,
+       {}},
+      {"record", obs::TraceLevel::kOff, check::SentinelMode::kRecord, false,
+       {}},
+      {"trap", obs::TraceLevel::kOff, check::SentinelMode::kTrap, false, {}},
+  };
+  {
+    std::vector<std::vector<double>> rates(naive_arms.size());
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      for (size_t a = 0; a < naive_arms.size(); ++a) {
+        obs::SetTraceLevel(naive_arms[a].level);
+        check::SetSentinelMode(naive_arms[a].mode);
+        session.stats().Reset();
+        rates[a].push_back(MeasureNaive(session, requests));
+      }
+    }
+    obs::SetTraceLevel(obs::TraceLevel::kOff);
+    check::SetSentinelMode(check::SentinelMode::kOff);
+    check::DrainSentinelFindings();  // serving an untrained model is finite
+    for (size_t a = 0; a < naive_arms.size(); ++a) {
+      naive_arms[a].rate = MedianOf(std::move(rates[a]));
     }
   }
-  check::SetSentinelMode(check::SentinelMode::kOff);
-  check::DrainSentinelFindings();  // serving an untrained model is finite
-  const double sentinel_off_overhead =
-      (levels[0].rps / sentinel_arms[0].rps - 1.0) * 100.0;
-  std::printf("\nsentinel overhead on the naive path (better of 2 reps,\n"
-              "baseline = trace-off arm above):\n");
-  for (const SentinelArm& arm : sentinel_arms) {
-    const double overhead = (levels[0].rps / arm.rps - 1.0) * 100.0;
-    std::printf("  %-8s %8.0f req/s (%+.2f%% overhead)%s\n", arm.label,
-                arm.rps, overhead,
-                arm.mode == check::SentinelMode::kOff
-                    ? (overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%")
-                    : "");
+  const double baseline_rps = naive_arms[0].rate.median;
+  double coarse_overhead = 0.0;
+  double sentinel_off_overhead = 0.0;
+  std::printf("\nspan + sentinel overhead on the naive path (interleaved,\n"
+              "median of %d reps):\n",
+              overhead_reps);
+  std::printf("  %-9s %8.0f req/s (baseline, spread %.1f%%)\n",
+              naive_arms[0].label, baseline_rps,
+              naive_arms[0].rate.spread_pct);
+  for (size_t a = 1; a < naive_arms.size(); ++a) {
+    const NaiveArm& arm = naive_arms[a];
+    const double overhead = (baseline_rps / arm.rate.median - 1.0) * 100.0;
+    if (std::strcmp(arm.label, "coarse") == 0) coarse_overhead = overhead;
+    if (std::strcmp(arm.label, "sent-off") == 0) {
+      sentinel_off_overhead = overhead;
+    }
+    std::printf("  %-9s %8.0f req/s (%+.2f%% overhead, spread %.1f%%)%s\n",
+                arm.label, arm.rate.median, overhead, arm.rate.spread_pct,
+                arm.gated ? GateVerdict(overhead, naive_arms[0].rate, arm.rate)
+                          : "");
   }
 
   // Serving-cache arms (serve/cache.h). A second session with identical
   // weights (same seed, same construction) carries the cache so the arms
   // above stay untouched. Four measurements:
   //   off    — cache attached but disabled: the per-batch enabled check is
-  //            the only extra work, gated <= 2% against the trace-off arm.
+  //            the only extra work, gated <= 2% against a baseline
+  //            re-measured interleaved with it (same drift cancellation
+  //            as the group above).
   //   cold   — enabled cache, every sequence distinct: all misses, i.e. the
   //            insert-side overhead of populating both tiers.
   //   warm   — the same stream repeated: encoder-tier hits skip both
   //            recurrent encoders, the headline speedup.
   //   prefix — perturbed stream (one word appended): encoder misses but
   //            embedding rows reuse, the partial-hit path.
-  double cache_off_rps = 0.0, cache_cold_rps = 0.0, cache_warm_rps = 0.0;
+  RepeatedRate cache_base_rate, cache_off_rate;
+  double cache_cold_rps = 0.0, cache_warm_rps = 0.0;
   double cache_prefix_rps = 0.0, cache_hit_rate = 0.0;
   double cache_embedding_hit_rate = 0.0;
   {
@@ -274,10 +334,16 @@ int main(int argc, char** argv) {
     serve::CacheConfig off_config;  // enabled = false
     serve::ServeCache off_cache(off_config);
     cached_session.EnableCache(&off_cache, "bench");
-    for (int rep = 0; rep < 2; ++rep) {
-      cached_session.stats().Reset();
-      cache_off_rps = std::max(cache_off_rps,
-                               MeasureNaive(cached_session, requests));
+    {
+      std::vector<double> base_rates, off_rates;
+      for (int rep = 0; rep < overhead_reps; ++rep) {
+        session.stats().Reset();
+        base_rates.push_back(MeasureNaive(session, requests));
+        cached_session.stats().Reset();
+        off_rates.push_back(MeasureNaive(cached_session, requests));
+      }
+      cache_base_rate = MedianOf(std::move(base_rates));
+      cache_off_rate = MedianOf(std::move(off_rates));
     }
 
     std::vector<std::string> prefix_requests;
@@ -324,12 +390,17 @@ int main(int argc, char** argv) {
     }
   }
   const double cache_off_overhead =
-      (levels[0].rps / cache_off_rps - 1.0) * 100.0;
-  std::printf("\nserving cache (naive path, better of 2 reps, baseline =\n"
-              "trace-off arm above):\n");
-  std::printf("  off      %8.0f req/s (%+.2f%% overhead)%s\n", cache_off_rps,
-              cache_off_overhead,
-              cache_off_overhead <= 2.0 ? "  PASS <= 2%" : "  ABOVE 2%");
+      (cache_base_rate.median / cache_off_rate.median - 1.0) * 100.0;
+  std::printf("\nserving cache (naive path; gated off arm interleaved with a\n"
+              "fresh baseline, median of %d reps; speedup arms better of 2):\n",
+              overhead_reps);
+  std::printf("  base     %8.0f req/s (re-measured baseline, spread %.1f%%)\n",
+              cache_base_rate.median, cache_base_rate.spread_pct);
+  std::printf("  off      %8.0f req/s (%+.2f%% overhead, spread %.1f%%)%s\n",
+              cache_off_rate.median, cache_off_overhead,
+              cache_off_rate.spread_pct,
+              GateVerdict(cache_off_overhead, cache_base_rate,
+                          cache_off_rate));
   std::printf("  cold     %8.0f req/s (%.2fx vs naive, all misses)\n",
               cache_cold_rps, cache_cold_rps / naive_rps);
   std::printf("  warm     %8.0f req/s (%.2fx vs naive, hit rate %.3f)\n",
@@ -338,6 +409,163 @@ int main(int argc, char** argv) {
               "%.3f)\n",
               cache_prefix_rps, cache_prefix_rps / naive_rps,
               cache_embedding_hit_rate);
+
+  // Request-tracing arms: the full router path (traceparent parsing, span
+  // collection across router/batcher/session, flight-recorder Record,
+  // latency exemplar) driven in-process through Router::Handle so no
+  // socket noise enters. The batcher runs max_batch=1 / max_wait_us=0 so
+  // no arm hides behind coalescing waits. Arms are interleaved like the
+  // groups above and reported with spreads:
+  //   off     — RouterConfig.tracing.enabled = false: baseline.
+  //   idle    — tracing on, tail threshold 60s: the sampler retains
+  //             nothing (steady-state production shape); the ring and
+  //             exemplars still run every request.
+  //   sampled — threshold 0: every request's span tree is retained in the
+  //             tail store, the worst case.
+  //
+  // The <= 2% idle gate is NOT computed from these throughput arms: the
+  // true per-request tracing cost is ~1us against a ~1ms predict, so the
+  // ratio of two full-path arms measures machine drift, not tracing (the
+  // A/A arm above shows the noise floor). Instead the absolute cost is
+  // resolved by a paired-difference probe on /healthz — a route cheap
+  // enough (~1us) that a long Handle loop gives sub-100ns resolution on
+  // the same traced machinery (context mint, collector, root+router
+  // spans, Finish, ring Record, exemplar, header) — and gated as a
+  // fraction of the median traced predict request.
+  RepeatedRate trace_off_rate, trace_idle_rate, trace_sampled_rate;
+  double trace_cost_us = 0.0;
+  {
+    std::shared_ptr<serve::InferenceSession> shared_session(
+        &session, [](serve::InferenceSession*) {});
+    std::vector<net::HttpRequest> trace_requests;
+    trace_requests.reserve(requests.size());
+    for (const std::string& text : requests) {
+      net::HttpRequest request;
+      request.method = "POST";
+      request.target = "/v1/models/bench/predict";
+      request.version = "HTTP/1.1";
+      request.headers = {{"content-type", "application/json"}};
+      request.body =
+          net::JsonValue::Object().Set("text", net::JsonValue::Str(text))
+              .Dump();
+      trace_requests.push_back(std::move(request));
+    }
+    net::RouterConfig off_config;
+    off_config.tracing.enabled = false;
+    net::RouterConfig idle_config;
+    idle_config.tracing.tail.latency_threshold_us = 60'000'000;
+    net::RouterConfig sampled_config;
+    sampled_config.tracing.tail.latency_threshold_us = 0;
+    serve::ModelRegistry registries[3];
+    std::vector<std::unique_ptr<net::Router>> routers;
+    const net::RouterConfig* configs[3] = {&off_config, &idle_config,
+                                           &sampled_config};
+    for (int a = 0; a < 3; ++a) {
+      net::RouterConfig config = *configs[a];
+      config.batcher = {.max_batch = 1, .max_wait_us = 0, .num_workers = 1,
+                        .max_queue = 64};
+      routers.push_back(std::make_unique<net::Router>(registries[a], config));
+      routers.back()->ServeModel("bench", shared_session);
+    }
+    auto measure_once = [&](net::Router& router) {
+      auto start = std::chrono::steady_clock::now();
+      for (const net::HttpRequest& request : trace_requests) {
+        net::HttpResponse response = router.Handle(request);
+        if (response.status != 200) return 0.0;
+      }
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return static_cast<double>(trace_requests.size()) / elapsed.count();
+    };
+    std::vector<double> arm_rates[3];
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      for (int a = 0; a < 3; ++a) {
+        arm_rates[a].push_back(measure_once(*routers[a]));
+      }
+    }
+    trace_off_rate = MedianOf(std::move(arm_rates[0]));
+    trace_idle_rate = MedianOf(std::move(arm_rates[1]));
+    trace_sampled_rate = MedianOf(std::move(arm_rates[2]));
+
+    // Paired-difference probe for the gate: per-request Handle cost on
+    // /healthz, idle-traced minus untraced, median over reps.
+    net::HttpRequest healthz;
+    healthz.method = "GET";
+    healthz.target = "/healthz";
+    healthz.version = "HTTP/1.1";
+    const int probe_requests = options.quick ? 100000 : 200000;
+    auto probe_us = [&](net::Router& router) {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < probe_requests; ++i) {
+        net::HttpResponse response = router.Handle(healthz);
+        if (response.status != 200) return -1.0;
+      }
+      std::chrono::duration<double, std::micro> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return elapsed.count() / probe_requests;
+    };
+    probe_us(*routers[0]);  // warm both paths once
+    probe_us(*routers[1]);
+    std::vector<double> costs;
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      const double off_us = probe_us(*routers[0]);
+      const double idle_us = probe_us(*routers[1]);
+      costs.push_back(idle_us - off_us);
+    }
+    std::sort(costs.begin(), costs.end());
+    trace_cost_us = costs[costs.size() / 2];
+  }
+  const double predict_request_us = 1e6 / trace_idle_rate.median;
+  const double trace_idle_overhead_pct =
+      trace_cost_us / predict_request_us * 100.0;
+  const double trace_sampled_overhead =
+      (trace_off_rate.median / trace_sampled_rate.median - 1.0) * 100.0;
+  std::printf("\nrequest tracing through the router (interleaved, median of "
+              "%d reps):\n",
+              overhead_reps);
+  std::printf("  off      %8.0f req/s (baseline, spread %.1f%%)\n",
+              trace_off_rate.median, trace_off_rate.spread_pct);
+  std::printf("  idle     %8.0f req/s (spread %.1f%%)\n",
+              trace_idle_rate.median, trace_idle_rate.spread_pct);
+  std::printf("  sampled  %8.0f req/s (%+.2f%% vs off, spread %.1f%%)\n",
+              trace_sampled_rate.median, trace_sampled_overhead,
+              trace_sampled_rate.spread_pct);
+  std::printf("  idle tracing cost %.3f us/request = %.3f%% of a %.0f us "
+              "predict  %s\n",
+              trace_cost_us, trace_idle_overhead_pct, predict_request_us,
+              trace_idle_overhead_pct <= 2.0 ? "PASS <= 2%" : "ABOVE 2%");
+
+  // Micro-rates for the two always-on tracing consumers, so a regression in
+  // either shows up directly instead of inside the 2% envelope above.
+  double ring_record_per_sec = 0.0;
+  double exemplar_observe_per_sec = 0.0;
+  {
+    obs::TraceCollector collector(obs::MakeTraceContext());
+    {
+      obs::ScopedActiveCollector guard(&collector);
+      obs::Span span("serve.forward");
+    }
+    obs::CompletedTrace trace = collector.Finish("predict", "bench", 200);
+    obs::FlightRecorder ring;
+    constexpr int kRingOps = 200000;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRingOps; ++i) ring.Record(trace);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    ring_record_per_sec = kRingOps / elapsed.count();
+
+    obs::Histogram hist(obs::DurationBucketsUs());
+    constexpr int kObserveOps = 1000000;
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kObserveOps; ++i) {
+      hist.ObserveWithExemplar(static_cast<double>(i % 5000), 0xbe, 0xef);
+    }
+    elapsed = std::chrono::steady_clock::now() - start;
+    exemplar_observe_per_sec = kObserveOps / elapsed.count();
+  }
+  std::printf("  ring Record          %12.0f ops/s\n", ring_record_per_sec);
+  std::printf("  ObserveWithExemplar  %12.0f ops/s\n",
+              exemplar_observe_per_sec);
 
   // HTTP loopback arm: the same request stream through the whole network
   // front — parser, router, micro-batcher — over real loopback sockets
@@ -414,15 +642,25 @@ int main(int argc, char** argv) {
   json.Field("naive_rps", naive_rps, 2);
   json.Field("best_batched_rps", best_rps, 2);
   json.Field("best_speedup", best_rps / naive_rps);
-  json.Field("span_overhead_off_rps", levels[0].rps, 2);
-  json.Field("span_overhead_coarse_rps", levels[1].rps, 2);
-  json.Field("span_overhead_detailed_rps", levels[2].rps, 2);
+  json.Field("overhead_reps", static_cast<int64_t>(overhead_reps));
+  json.Field("span_overhead_off_rps", naive_arms[0].rate.median, 2);
+  json.Field("span_overhead_off_spread_pct", naive_arms[0].rate.spread_pct,
+             2);
+  json.Field("span_overhead_coarse_rps", naive_arms[1].rate.median, 2);
+  json.Field("span_overhead_coarse_spread_pct", naive_arms[1].rate.spread_pct,
+             2);
+  json.Field("span_overhead_detailed_rps", naive_arms[2].rate.median, 2);
   json.Field("span_overhead_coarse_pct", coarse_overhead, 2);
-  json.Field("sentinel_overhead_off_rps", sentinel_arms[0].rps, 2);
-  json.Field("sentinel_overhead_record_rps", sentinel_arms[1].rps, 2);
-  json.Field("sentinel_overhead_trap_rps", sentinel_arms[2].rps, 2);
+  json.Field("sentinel_overhead_off_rps", naive_arms[3].rate.median, 2);
+  json.Field("sentinel_overhead_off_spread_pct",
+             naive_arms[3].rate.spread_pct, 2);
+  json.Field("sentinel_overhead_record_rps", naive_arms[4].rate.median, 2);
+  json.Field("sentinel_overhead_trap_rps", naive_arms[5].rate.median, 2);
   json.Field("sentinel_overhead_off_pct", sentinel_off_overhead, 2);
-  json.Field("cache_off_rps", cache_off_rps, 2);
+  json.Field("cache_base_rps", cache_base_rate.median, 2);
+  json.Field("cache_base_spread_pct", cache_base_rate.spread_pct, 2);
+  json.Field("cache_off_rps", cache_off_rate.median, 2);
+  json.Field("cache_off_spread_pct", cache_off_rate.spread_pct, 2);
   json.Field("cache_off_overhead_pct", cache_off_overhead, 2);
   json.Field("cache_cold_rps", cache_cold_rps, 2);
   json.Field("cache_warm_rps", cache_warm_rps, 2);
@@ -430,6 +668,16 @@ int main(int argc, char** argv) {
   json.Field("cache_hit_rate", cache_hit_rate);
   json.Field("cache_prefix_rps", cache_prefix_rps, 2);
   json.Field("cache_embedding_hit_rate", cache_embedding_hit_rate);
+  json.Field("trace_off_rps", trace_off_rate.median, 2);
+  json.Field("trace_off_spread_pct", trace_off_rate.spread_pct, 2);
+  json.Field("trace_idle_rps", trace_idle_rate.median, 2);
+  json.Field("trace_idle_spread_pct", trace_idle_rate.spread_pct, 2);
+  json.Field("trace_cost_us", trace_cost_us);
+  json.Field("trace_idle_overhead_pct", trace_idle_overhead_pct, 2);
+  json.Field("trace_sampled_rps", trace_sampled_rate.median, 2);
+  json.Field("trace_sampled_overhead_pct", trace_sampled_overhead, 2);
+  json.Field("flight_recorder_record_per_sec", ring_record_per_sec, 0);
+  json.Field("exemplar_observe_per_sec", exemplar_observe_per_sec, 0);
   json.Field("http_loopback_rps", http_rps, 2);
   json.Field("http_loopback_fraction_of_best", http_rps / best_rps);
   if (json.Write("BENCH_serve_throughput.json")) {

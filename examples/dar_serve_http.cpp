@@ -2,7 +2,8 @@
 // publish it through the model registry, and serve it over HTTP.
 //
 //   ./build/examples/dar_serve_http [--port N] [--epochs N] [--train N]
-//                                   [--cache-mb N]
+//                                   [--cache-mb N] [--slow-ms N]
+//                                   [--no-tracing]
 //
 // then, from another terminal:
 //
@@ -11,6 +12,8 @@
 //   curl -s -X POST localhost:8080/v1/models/beer-appearance/predict
 //        -d '{"text": "the pour is a hazy golden with a thick head"}'
 //   curl -s localhost:8080/metrics | grep serve_requests_total
+//   curl -s localhost:8080/debug/requests
+//   curl -s localhost:8080/debug/trace/<id from X-DAR-Trace-Id>
 //
 // The model goes through the full deployment path — train, save a
 // checkpoint bundle, restore it into a fresh InferenceSession — so what
@@ -52,6 +55,11 @@ int main(int argc, char** argv) {
   // deployment entry point should demonstrate the deployed configuration
   // (responses are bit-identical either way; see src/serve/cache.h).
   int cache_mb = 64;
+  // Tail-sampling threshold: requests slower than this are retained with
+  // their full span tree and reported on stdout with the trace id to paste
+  // into /debug/trace/<id>.
+  int slow_ms = 250;
+  bool tracing = true;
   for (int i = 1; i < argc; ++i) {
     auto int_flag = [&](const char* flag, int* out) {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
@@ -62,12 +70,17 @@ int main(int argc, char** argv) {
     };
     if (int_flag("--port", &port) || int_flag("--epochs", &epochs) ||
         int_flag("--train", &train_examples) ||
-        int_flag("--cache-mb", &cache_mb)) {
+        int_flag("--cache-mb", &cache_mb) ||
+        int_flag("--slow-ms", &slow_ms)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-tracing") == 0) {
+      tracing = false;
       continue;
     }
     std::fprintf(stderr,
                  "usage: %s [--port N] [--epochs N] [--train N] "
-                 "[--cache-mb N]\n",
+                 "[--cache-mb N] [--slow-ms N] [--no-tracing]\n",
                  argv[0]);
     return 2;
   }
@@ -110,6 +123,9 @@ int main(int argc, char** argv) {
   //    the server shares it so /metrics also carries connection counters.
   serve::ModelRegistry registry;
   net::RouterConfig router_config;
+  router_config.tracing.enabled = tracing;
+  router_config.tracing.tail.latency_threshold_us =
+      static_cast<int64_t>(slow_ms) * 1000;
   if (cache_mb > 0) {
     router_config.serve.cache.enabled = true;
     router_config.serve.cache.capacity_bytes =
@@ -132,10 +148,33 @@ int main(int argc, char** argv) {
   std::printf("listening on port %d\n", server.port());
   std::printf("  curl -s -X POST localhost:%d/v1/models/beer-appearance/predict"
               " -d '{\"text\": \"...\"}'\n", server.port());
+  if (tracing) {
+    std::printf("tracing on: slow (>%d ms) and errored requests are "
+                "reported below; inspect any of them with\n"
+                "  curl -s localhost:%d/debug/trace/<trace_id>\n",
+                slow_ms, server.port());
+  }
   std::fflush(stdout);
 
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (router.tracer() == nullptr) continue;
+    // Surface what the tail sampler caught since the last tick: the trace
+    // id printed here is live — /debug/trace/<id> returns the span tree.
+    for (const obs::RequestSummary& summary :
+         router.tracer()->DrainTailSampled()) {
+      std::printf("[%s] trace %s: %s /%s status=%d latency=%lld us "
+                  "spans=%u\n",
+                  summary.tail_reason ==
+                          static_cast<uint8_t>(obs::TailReason::kError)
+                      ? "error"
+                      : "slow",
+                  summary.trace_id, summary.route, summary.model,
+                  summary.status,
+                  static_cast<long long>(summary.latency_us),
+                  summary.total_spans);
+      std::fflush(stdout);
+    }
   }
   std::printf("draining...\n");
   std::fflush(stdout);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace dar {
 namespace check {
@@ -36,6 +37,9 @@ constexpr size_t kMaxStoredFindings = 256;
 [[noreturn]] void TrapAbort(const std::string& rendered) {
   std::fprintf(stderr, "DAR sentinel trap: %s\n", rendered.c_str());
   std::fflush(stderr);
+  // Last words: the recent-request ring, so a serving-path trap names the
+  // requests (and trace ids) that were in flight when the math went bad.
+  obs::FlightRecorder::Global().DumpToStderr();
   std::abort();
 }
 

@@ -127,8 +127,13 @@ std::optional<ClientResponse> HttpClient::Request(
     const std::vector<std::pair<std::string, std::string>>& headers) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  bool caller_traceparent = false;
   for (const auto& header : headers) {
     wire += header.first + ": " + header.second + "\r\n";
+    caller_traceparent |= ToLower(header.first) == "traceparent";
+  }
+  if (!traceparent_.empty() && !caller_traceparent) {
+    wire += "traceparent: " + traceparent_ + "\r\n";
   }
   if (!body.empty() || method == "POST" || method == "PUT") {
     wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";

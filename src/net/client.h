@@ -27,6 +27,14 @@ struct ClientResponse {
   bool keep_alive = true;
 
   const std::string* FindHeader(const std::string& lowercase_name) const;
+
+  /// The X-DAR-Trace-Id the server assigned this request ("" when the
+  /// server runs with tracing disabled). Paste it into
+  /// GET /debug/trace/<id> to pull the request's span tree.
+  std::string trace_id() const {
+    const std::string* header = FindHeader("x-dar-trace-id");
+    return header != nullptr ? *header : "";
+  }
 };
 
 class HttpClient {
@@ -55,6 +63,17 @@ class HttpClient {
       const std::string& body = "",
       const std::vector<std::pair<std::string, std::string>>& headers = {});
 
+  /// Propagates trace context on every subsequent request: `value` is sent
+  /// verbatim as the `traceparent` header (W3C format, see
+  /// obs::FormatTraceparent) unless a per-request header list already
+  /// carries one. Empty string clears it. The server joins the caller's
+  /// trace instead of minting a fresh id — the returned
+  /// ClientResponse::trace_id() then shares the caller's 32-hex prefix.
+  void set_traceparent(std::string value) {
+    traceparent_ = std::move(value);
+  }
+  const std::string& traceparent() const { return traceparent_; }
+
   /// Human-readable detail for the last nullopt return.
   const std::string& error() const { return error_; }
 
@@ -74,6 +93,7 @@ class HttpClient {
   int port_;
   int timeout_ms_;
   int fd_ = -1;
+  std::string traceparent_;  // "" = do not send the header
   std::string error_;
   std::string carry_;  // bytes read past the previous response
 };

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -97,6 +98,9 @@ Router::Router(serve::ModelRegistry& registry, RouterConfig config)
     cache_->PublishMetrics(metrics_);
     registry_->AttachCache(cache_.get());
   }
+  if (config_.tracing.enabled) {
+    tracer_ = std::make_unique<obs::RequestTracer>(config_.tracing);
+  }
 }
 
 Router::~Router() {
@@ -133,7 +137,28 @@ HttpResponse Router::Handle(const HttpRequest& request) {
   auto start = std::chrono::steady_clock::now();
   std::string route = "unmatched";
   std::string model;
-  HttpResponse response = Dispatch(request, route, model);
+
+  // Trace identity: adopt a well-formed incoming traceparent, mint fresh
+  // otherwise. A malformed header is not an error — the request proceeds
+  // under its own id.
+  obs::TraceContext ctx;
+  std::shared_ptr<obs::TraceCollector> collector;
+  if (tracer_ != nullptr) {
+    const std::string* incoming = request.FindHeader("traceparent");
+    if (incoming == nullptr || !obs::ParseTraceparent(*incoming, &ctx)) {
+      ctx = obs::MakeTraceContext();
+    }
+    collector = std::make_shared<obs::TraceCollector>(ctx);
+  }
+
+  HttpResponse response;
+  if (collector != nullptr) {
+    obs::ScopedRequestTrace trace_guard(collector);
+    obs::Span router_span("http.router");
+    response = Dispatch(request, route, model);
+  } else {
+    response = Dispatch(request, route, model);
+  }
 
   double elapsed_us =
       std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
@@ -145,11 +170,16 @@ HttpResponse Router::Handle(const HttpRequest& request) {
   metrics_
       ->GetCounter(obs::LabeledName("http.requests_total", labels))
       .Increment();
-  metrics_
-      ->GetHistogram(
-          obs::LabeledName("http.request_latency_us", {{"route", route}}),
-          kLatencyBoundsUs)
-      .Observe(elapsed_us);
+  obs::Histogram& latency = metrics_->GetHistogram(
+      obs::LabeledName("http.request_latency_us", {{"route", route}}),
+      kLatencyBoundsUs);
+  if (collector != nullptr) {
+    latency.ObserveWithExemplar(elapsed_us, ctx.trace_id_hi, ctx.trace_id_lo);
+    tracer_->Complete(collector->Finish(route, model, response.status));
+    response.extra_headers.push_back({"X-DAR-Trace-Id", obs::TraceIdHex(ctx)});
+  } else {
+    latency.Observe(elapsed_us);
+  }
   return response;
 }
 
@@ -171,6 +201,19 @@ HttpResponse Router::Dispatch(const HttpRequest& request, std::string& route,
     route = "models";
     if (request.method != "GET") return MethodNotAllowed("GET");
     return HandleModels();
+  }
+  const std::string debug_trace_prefix = "/debug/trace/";
+  if (path == "/debug/requests" || path == "/debug/flight_recorder" ||
+      path.compare(0, debug_trace_prefix.size(), debug_trace_prefix) == 0) {
+    route = "debug";
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    // Compiled in but disabled by flag: the routes do not exist.
+    if (tracer_ == nullptr) {
+      return JsonError(404, "request tracing is disabled");
+    }
+    if (path == "/debug/requests") return HandleDebugRequests();
+    if (path == "/debug/flight_recorder") return HandleDebugFlightRecorder();
+    return HandleDebugTrace(path.substr(debug_trace_prefix.size()));
   }
   std::string name = PredictModelName(path);
   if (!name.empty()) {
@@ -217,6 +260,112 @@ HttpResponse Router::HandleModels() {
   }
   return JsonResponse(200,
                       JsonValue::Object().Set("models", std::move(models)));
+}
+
+namespace {
+
+const char* TailReasonName(uint8_t reason) {
+  switch (static_cast<obs::TailReason>(reason)) {
+    case obs::TailReason::kSlow:
+      return "slow";
+    case obs::TailReason::kError:
+      return "error";
+    default:
+      return "none";
+  }
+}
+
+JsonValue SummaryToJson(const obs::RequestSummary& summary) {
+  return JsonValue::Object()
+      .Set("trace_id", JsonValue::Str(summary.trace_id))
+      .Set("route", JsonValue::Str(summary.route))
+      .Set("model", JsonValue::Str(summary.model))
+      .Set("status", JsonValue::Int(summary.status))
+      .Set("latency_us", JsonValue::Int(summary.latency_us))
+      .Set("start_unix_us", JsonValue::Int(summary.start_unix_us))
+      .Set("total_spans",
+           JsonValue::Int(static_cast<int64_t>(summary.total_spans)))
+      .Set("tail_reason", JsonValue::Str(TailReasonName(summary.tail_reason)));
+}
+
+JsonValue TraceToJson(const obs::CompletedTrace& trace) {
+  JsonValue spans = JsonValue::Array();
+  for (const obs::SpanRecord& span : trace.spans) {
+    spans.Push(JsonValue::Object()
+                   .Set("name", JsonValue::Str(span.name))
+                   .Set("span_id", JsonValue::Str(obs::SpanIdHex(span.span_id)))
+                   .Set("parent", JsonValue::Str(
+                                      obs::SpanIdHex(span.parent_span_id)))
+                   .Set("start_us", JsonValue::Int(span.start_us))
+                   .Set("duration_us", JsonValue::Int(span.duration_us))
+                   .Set("batch_size", JsonValue::Int(span.batch_size)));
+  }
+  JsonValue links = JsonValue::Array();
+  for (const std::string& link : trace.batch_links) {
+    links.Push(JsonValue::Str(link));
+  }
+  return JsonValue::Object()
+      .Set("summary", SummaryToJson(trace.summary))
+      .Set("spans", std::move(spans))
+      .Set("batch_links", std::move(links))
+      .Set("total_links",
+           JsonValue::Int(static_cast<int64_t>(trace.total_links)));
+}
+
+}  // namespace
+
+HttpResponse Router::HandleDebugRequests() {
+  obs::FlightRecorder& ring = tracer_->ring();
+  JsonValue requests = JsonValue::Array();
+  for (const obs::CompletedTrace& trace : ring.Snapshot()) {
+    requests.Push(SummaryToJson(trace.summary));
+  }
+  return JsonResponse(200, JsonValue::Object()
+                               .Set("requests", std::move(requests))
+                               .Set("recorded", JsonValue::Int(
+                                                    ring.recorded()))
+                               .Set("dropped", JsonValue::Int(
+                                                   ring.dropped())));
+}
+
+HttpResponse Router::HandleDebugTrace(const std::string& trace_id) {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  if (!obs::ParseTraceIdHex(trace_id, &hi, &lo)) {
+    return JsonError(404, "not a trace id: expected 32 hex characters");
+  }
+  obs::CompletedTrace trace;
+  // Canonical lowercase form — FindTrace keys exact strings.
+  if (!tracer_->FindTrace(obs::TraceIdHex(hi, lo), &trace)) {
+    return JsonError(404, "trace '" + trace_id +
+                              "' is not in the tail store or the "
+                              "flight recorder ring (it may have aged out)");
+  }
+  return JsonResponse(200, TraceToJson(trace));
+}
+
+HttpResponse Router::HandleDebugFlightRecorder() {
+  obs::FlightRecorder& ring = tracer_->ring();
+  JsonValue trace_ids = JsonValue::Array();
+  for (const obs::CompletedTrace& trace : ring.Snapshot()) {
+    trace_ids.Push(JsonValue::Str(trace.summary.trace_id));
+  }
+  return JsonResponse(
+      200,
+      JsonValue::Object()
+          .Set("slots", JsonValue::Int(static_cast<int64_t>(ring.num_slots())))
+          .Set("budget_bytes",
+               JsonValue::Int(
+                   static_cast<int64_t>(ring.config().budget_bytes)))
+          .Set("footprint_bytes",
+               JsonValue::Int(static_cast<int64_t>(ring.footprint_bytes())))
+          .Set("recorded", JsonValue::Int(ring.recorded()))
+          .Set("dropped", JsonValue::Int(ring.dropped()))
+          .Set("tail_sampled",
+               JsonValue::Int(static_cast<int64_t>(tracer_->tail().size())))
+          .Set("tail_threshold_us",
+               JsonValue::Int(tracer_->tail().config().latency_threshold_us))
+          .Set("trace_ids", std::move(trace_ids)));
 }
 
 HttpResponse Router::HandlePredict(const std::string& name,

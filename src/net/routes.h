@@ -13,10 +13,21 @@
 //                                    counters (serve_requests_total{model=...})
 //                                    plus the per-route HTTP metrics below
 //   GET  /healthz                    liveness + model count
+//   GET  /debug/requests             recent completed requests (the flight
+//                                    recorder ring, newest first)
+//   GET  /debug/trace/<id>           one request's span tree by trace id
+//   GET  /debug/flight_recorder      ring configuration + occupancy
 //
 // Every handled request records http.requests_total{route=...,code=...}
 // (predict adds model=...) and an http.request_latency_us{route=...}
 // histogram into the same metrics registry /metrics exports.
+//
+// With tracing enabled (RouterConfig::tracing, the default) each request
+// additionally gets a TraceContext — parsed from an incoming W3C
+// `traceparent` header when present and well-formed, freshly minted
+// otherwise — whose id is returned as `X-DAR-Trace-Id` and resolvable via
+// /debug/trace/<id> while it remains in the tail store or the flight
+// recorder ring. The /debug routes answer 404 when tracing is disabled.
 #ifndef DAR_NET_ROUTES_H_
 #define DAR_NET_ROUTES_H_
 
@@ -27,6 +38,7 @@
 
 #include "net/http.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/registry.h"
@@ -53,6 +65,11 @@ struct RouterConfig {
   /// default: responses are bit-identical either way, the header and the
   /// serve_cache_* series are the only observable difference.
   serve::ServeConfig serve;
+  /// Request tracing (on by default). tracing.enabled=false removes the
+  /// X-DAR-Trace-Id header, turns the /debug routes into 404s, and reduces
+  /// the per-request cost to the untraced PR 5 path. Response bodies are
+  /// bit-identical either way.
+  obs::TracerConfig tracing;
 };
 
 /// Thread-safe request handler over a ModelRegistry. Pass
@@ -90,6 +107,10 @@ class Router {
   /// The serving cache, or nullptr when config.serve.cache is disabled.
   serve::ServeCache* cache() { return cache_.get(); }
 
+  /// The request tracer, or nullptr when config.tracing is disabled. The
+  /// serving example drains its tail sampler to log slow requests.
+  obs::RequestTracer* tracer() { return tracer_.get(); }
+
  private:
   /// A served model: the session plus its batching front. shared_ptr so a
   /// hot-swap cannot pull either from under an in-flight request.
@@ -104,6 +125,9 @@ class Router {
   HttpResponse HandleModels();
   HttpResponse HandleMetrics();
   HttpResponse HandleHealthz();
+  HttpResponse HandleDebugRequests();
+  HttpResponse HandleDebugTrace(const std::string& trace_id);
+  HttpResponse HandleDebugFlightRecorder();
   /// Wraps dispatch with the per-route counter/latency recording.
   HttpResponse Dispatch(const HttpRequest& request, std::string& route,
                         std::string& model);
@@ -113,6 +137,7 @@ class Router {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
   std::unique_ptr<serve::ServeCache> cache_;
+  std::unique_ptr<obs::RequestTracer> tracer_;
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;

@@ -133,15 +133,46 @@ Histogram::Histogram(std::vector<double> bounds)
   }
 }
 
-void Histogram::Observe(double v) {
+size_t Histogram::BucketIndexFor(double v) const {
   size_t idx = static_cast<size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   // upper_bound gives the first edge > v, i.e. edges are inclusive uppers.
   if (idx > 0 && v == bounds_[idx - 1]) --idx;
+  return idx;
+}
+
+double Histogram::BucketLowerEdge(size_t index) const {
+  return index > 0 ? bounds_[index - 1] : 0.0;
+}
+
+double Histogram::BucketUpperEdge(size_t index) const {
+  return index < bounds_.size() ? bounds_[index]
+                                : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  size_t idx = BucketIndexFor(v);
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);
   AtomicMax(max_, v);
+}
+
+void Histogram::ObserveWithExemplar(double v, uint64_t trace_hi,
+                                    uint64_t trace_lo) {
+  size_t idx = BucketIndexFor(v);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMax(max_, v);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(buckets_.size());
+  exemplars_[idx] = Exemplar{true, v, trace_hi, trace_lo};
+}
+
+std::vector<Histogram::Exemplar> Histogram::Exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
 }
 
 void Histogram::MergeCounts(const int64_t* bucket_counts, int64_t count,
@@ -190,10 +221,8 @@ double Histogram::Percentile(double p) const {
     }
     // The target falls in bucket i: interpolate between its edges. The
     // overflow bucket has no upper edge — its estimate is the exact max.
-    double hi = i < bounds_.size()
-                    ? bounds_[i]
-                    : max_.load(std::memory_order_relaxed);
-    double lo = i > 0 ? bounds_[i - 1] : 0.0;
+    double hi = BucketUpperEdge(i);
+    double lo = BucketLowerEdge(i);
     double frac = counts[i] > 0 ? static_cast<double>(target - seen) /
                                       static_cast<double>(counts[i])
                                 : 1.0;
@@ -211,6 +240,8 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_.clear();
 }
 
 const std::vector<double>& DurationBucketsUs() {
@@ -312,6 +343,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
     SeriesName series = SplitSeries(name);
     type_line(series.base, "histogram");
     const std::vector<int64_t> counts = hist->BucketCounts();
+    const std::vector<Histogram::Exemplar> exemplars = hist->Exemplars();
     int64_t cumulative = 0;
     for (size_t i = 0; i < counts.size(); ++i) {
       cumulative += counts[i];
@@ -321,11 +353,21 @@ std::string MetricsRegistry::ExportPrometheus() const {
       } else {
         std::snprintf(le, sizeof(le), "le=\"+Inf\"");
       }
-      std::snprintf(buf, sizeof(buf), "%s_bucket%s %lld\n",
+      std::snprintf(buf, sizeof(buf), "%s_bucket%s %lld",
                     series.base.c_str(),
                     WithExtraLabel(series.labels, le).c_str(),
                     static_cast<long long>(cumulative));
       out += buf;
+      if (i < exemplars.size() && exemplars[i].valid) {
+        // OpenMetrics exemplar syntax: `... N # {trace_id="..."} value`.
+        std::snprintf(buf, sizeof(buf),
+                      " # {trace_id=\"%016llx%016llx\"} %.9g",
+                      static_cast<unsigned long long>(exemplars[i].trace_hi),
+                      static_cast<unsigned long long>(exemplars[i].trace_lo),
+                      exemplars[i].value);
+        out += buf;
+      }
+      out += "\n";
     }
     std::snprintf(buf, sizeof(buf), "%s_sum%s %.9g\n", series.base.c_str(),
                   series.labels.c_str(), hist->sum());

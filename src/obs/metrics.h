@@ -70,9 +70,33 @@ class Gauge {
 /// allocation, O(log buckets) per Observe.
 class Histogram {
  public:
+  /// A recent (value, trace id) pair attached to one bucket — the
+  /// OpenMetrics exemplar the /metrics exposition appends to that bucket's
+  /// line, so a latency spike in a histogram links to a concrete request
+  /// in /debug/trace/<id>.
+  struct Exemplar {
+    bool valid = false;
+    double value = 0.0;
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
+
+  /// Observe() plus exemplar capture: remembers (v, trace id) for the
+  /// bucket v lands in. Retention is last-write-wins per bucket — each
+  /// bucket keeps exactly its most recent exemplar, older ones are
+  /// overwritten, and there is no sampling or rate limit; recency is the
+  /// policy. Exemplar storage is allocated on first use and guarded by a
+  /// mutex, so histograms that never see a traced observation pay nothing
+  /// and the plain Observe() path stays lock-free.
+  void ObserveWithExemplar(double v, uint64_t trace_hi, uint64_t trace_lo);
+
+  /// Per-bucket exemplars (num_buckets() entries, each possibly invalid).
+  /// Empty when ObserveWithExemplar was never called.
+  std::vector<Exemplar> Exemplars() const;
 
   /// Merges pre-aggregated data (the per-thread span buffers flush through
   /// this): `bucket_counts` must have num_buckets() entries.
@@ -100,11 +124,22 @@ class Histogram {
   void Reset();
 
  private:
+  /// The single home of the bucket-selection rule (inclusive upper edges):
+  /// Observe and the exemplar path both go through it, so the exemplar can
+  /// never sit in a different bucket than the count it annotates.
+  size_t BucketIndexFor(double v) const;
+  /// Bucket edge helpers shared by Percentile and the exporters; the
+  /// overflow bucket's upper edge is the exact observed max.
+  double BucketLowerEdge(size_t index) const;
+  double BucketUpperEdge(size_t index) const;
+
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  // empty until first traced observation
 };
 
 /// The 1-2-5 series from 1us to 1e7us (10 s): the shared bucket layout for

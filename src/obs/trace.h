@@ -57,28 +57,60 @@ void SetTraceRegistry(MetricsRegistry* registry);
 /// it also runs automatically at thread exit and on buffer overflow.
 void FlushThreadSpans();
 
+class TraceCollector;  // recorder.h — per-request span accumulator
+
 namespace internal {
 void RecordSpan(const char* name, int64_t duration_us);
-}
+
+/// The request collector active on this thread (set by the RAII guards in
+/// recorder.h, null otherwise). Spans at kCoarse or coarser also append
+/// to it, giving completed requests a span tree without any call-site
+/// changes. Reading it costs one thread-local load on the span fast path.
+extern thread_local TraceCollector* g_active_collector;
+
+// Defined in recorder.cc; trace.h stays free of the recorder types.
+uint64_t BeginCollectedSpan(TraceCollector* collector);
+void EndCollectedSpan(TraceCollector* collector, uint64_t span_id,
+                      const char* name,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end);
+}  // namespace internal
 
 /// Scoped timer. `name` must be a string literal.
+///
+/// Records into two independent sinks: the per-thread aggregate buffers
+/// (when the process TraceLevel admits `level`) and the active request's
+/// TraceCollector (when one is stacked and `level` is kCoarse or coarser
+/// — request trees never include kDetailed kernel spans). With tracing
+/// off and no request active, construction is one relaxed atomic load
+/// plus one thread-local load.
 class Span {
  public:
   explicit Span(const char* name, TraceLevel level = TraceLevel::kCoarse)
-      : active_(TraceEnabled(level)) {
-    if (active_) {
+      : active_(TraceEnabled(level)),
+        collector_(level <= TraceLevel::kCoarse ? internal::g_active_collector
+                                                : nullptr) {
+    if (active_ || collector_ != nullptr) {
       name_ = name;
       start_ = std::chrono::steady_clock::now();
+      if (collector_ != nullptr) {
+        span_id_ = internal::BeginCollectedSpan(collector_);
+      }
     }
   }
 
   ~Span() {
-    if (active_) {
-      auto elapsed = std::chrono::steady_clock::now() - start_;
-      internal::RecordSpan(
-          name_,
-          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-              .count());
+    if (active_ || collector_ != nullptr) {
+      auto end = std::chrono::steady_clock::now();
+      if (active_) {
+        internal::RecordSpan(
+            name_, std::chrono::duration_cast<std::chrono::microseconds>(
+                       end - start_)
+                       .count());
+      }
+      if (collector_ != nullptr) {
+        internal::EndCollectedSpan(collector_, span_id_, name_, start_, end);
+      }
     }
   }
 
@@ -87,7 +119,9 @@ class Span {
 
  private:
   bool active_;
+  TraceCollector* collector_;
   const char* name_ = nullptr;
+  uint64_t span_id_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,155 @@
+#include "obs/trace_context.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dar {
+namespace obs {
+
+namespace {
+
+/// splitmix64: tiny, fast, and statistically fine for ids that only need
+/// to be unique, not unpredictable.
+uint64_t NextRandom() {
+  thread_local uint64_t state = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    // Mix in a per-thread address so threads seeded in the same clock tick
+    // still diverge.
+    return seed ^ (reinterpret_cast<uint64_t>(&state) << 16);
+  }();
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;  // uppercase is malformed in traceparent per the W3C grammar
+}
+
+/// Parses exactly `digits` lowercase hex characters at `s`. False on any
+/// non-hex byte (including NUL — the caller guarantees length).
+bool ParseHexField(const char* s, int digits, uint64_t* out) {
+  uint64_t value = 0;
+  for (int i = 0; i < digits; ++i) {
+    int nibble = HexNibble(s[i]);
+    if (nibble < 0) return false;
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  *out = value;
+  return true;
+}
+
+void AppendHex(std::string& out, uint64_t value, int digits) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+TraceContext MakeTraceContext() {
+  TraceContext ctx;
+  do {
+    ctx.trace_id_hi = NextRandom();
+    ctx.trace_id_lo = NextRandom();
+  } while (!ctx.valid());  // the all-zero id is reserved for "invalid"
+  ctx.span_id = MakeSpanId();
+  ctx.flags = 0x01;
+  return ctx;
+}
+
+uint64_t MakeSpanId() {
+  uint64_t id;
+  do {
+    id = NextRandom();
+  } while (id == 0);
+  return id;
+}
+
+bool ParseTraceparent(const std::string& header, TraceContext* out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2) = 55 bytes.
+  constexpr size_t kLen = 55;
+  if (header.size() < kLen) return false;
+  const char* s = header.c_str();
+  uint64_t version;
+  if (!ParseHexField(s, 2, &version)) return false;
+  if (version == 0xff) return false;  // ff is forbidden by the spec
+  if (version == 0x00 && header.size() != kLen) return false;
+  // Unknown future versions may append "-extra" fields; anything else
+  // trailing the 00-layout prefix is malformed.
+  if (header.size() > kLen && header[kLen] != '-') return false;
+  if (s[2] != '-' || s[35] != '-' || s[52] != '-') return false;
+
+  TraceContext ctx;
+  uint64_t flags;
+  if (!ParseHexField(s + 3, 16, &ctx.trace_id_hi)) return false;
+  if (!ParseHexField(s + 19, 16, &ctx.trace_id_lo)) return false;
+  if (!ParseHexField(s + 36, 16, &ctx.span_id)) return false;
+  if (!ParseHexField(s + 53, 2, &flags)) return false;
+  if (!ctx.valid() || ctx.span_id == 0) return false;
+  ctx.flags = static_cast<uint8_t>(flags);
+  *out = ctx;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  std::string out = "00-";
+  AppendHex(out, ctx.trace_id_hi, 16);
+  AppendHex(out, ctx.trace_id_lo, 16);
+  out += '-';
+  AppendHex(out, ctx.span_id, 16);
+  out += '-';
+  AppendHex(out, ctx.flags, 2);
+  return out;
+}
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  return TraceIdHex(ctx.trace_id_hi, ctx.trace_id_lo);
+}
+
+std::string TraceIdHex(uint64_t hi, uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  AppendHex(out, hi, 16);
+  AppendHex(out, lo, 16);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex(out, id, 16);
+  return out;
+}
+
+bool ParseTraceIdHex(const std::string& hex, uint64_t* hi, uint64_t* lo) {
+  if (hex.size() != 32) return false;
+  uint64_t h = 0, l = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    char c = hex[i];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    uint64_t& word = i < 16 ? h : l;
+    word = (word << 4) | static_cast<uint64_t>(nibble);
+  }
+  *hi = h;
+  *lo = l;
+  return true;
+}
+
+}  // namespace obs
+}  // namespace dar

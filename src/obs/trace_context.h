@@ -1,0 +1,80 @@
+// Request-scoped trace identity, W3C Trace Context flavored.
+//
+// A TraceContext is the 128-bit trace id + 64-bit span id pair that names
+// one request across every layer it touches: the HTTP front-end mints one
+// per request (or adopts the one an upstream proxy sent in a `traceparent`
+// header), the router/batcher/session spans attach to it, and the response
+// carries it back as `X-DAR-Trace-Id` so a caller can pull the request's
+// span tree from `GET /debug/trace/<id>`.
+//
+// The wire format is the W3C `traceparent` header:
+//
+//   00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+//   ^^ ^32 lowercase hex: trace id      ^16 hex: span id  ^^ flags
+//
+// ParseTraceparent is strict about the parts it consumes (lowercase hex,
+// exact field widths, nonzero ids, version != ff) and deliberately lenient
+// about the future: an unknown version parses as long as the 00-layout
+// prefix is intact and is followed by end-of-string or another dash, per
+// the spec's forward-compatibility rule. Anything malformed returns false
+// and the caller mints a fresh context — a bad header must never crash or
+// taint the trace store.
+#ifndef DAR_OBS_TRACE_CONTEXT_H_
+#define DAR_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dar {
+namespace obs {
+
+struct TraceContext {
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  /// The current span within the trace: the request root for a freshly
+  /// minted context, the remote caller's span when parsed from a
+  /// traceparent header.
+  uint64_t span_id = 0;
+  /// W3C trace-flags byte; bit 0 = sampled.
+  uint8_t flags = 0x01;
+
+  /// A zero trace id is the W3C "invalid" value and never refers to a
+  /// real request.
+  bool valid() const { return (trace_id_hi | trace_id_lo) != 0; }
+
+  bool SameTrace(const TraceContext& other) const {
+    return trace_id_hi == other.trace_id_hi &&
+           trace_id_lo == other.trace_id_lo;
+  }
+};
+
+/// Mints a context with fresh random ids (thread-local splitmix64, seeded
+/// once per thread from the clock — no locks, no global RNG contention).
+TraceContext MakeTraceContext();
+
+/// Fresh random span id within an existing trace.
+uint64_t MakeSpanId();
+
+/// Parses a `traceparent` header value. False (out untouched) on anything
+/// malformed; see the header comment for the accepted grammar.
+bool ParseTraceparent(const std::string& header, TraceContext* out);
+
+/// `00-<trace id>-<span id>-<flags>`, lowercase hex throughout.
+std::string FormatTraceparent(const TraceContext& ctx);
+
+/// The 32-lowercase-hex trace id (what X-DAR-Trace-Id carries).
+std::string TraceIdHex(const TraceContext& ctx);
+std::string TraceIdHex(uint64_t hi, uint64_t lo);
+
+/// 16-lowercase-hex span id.
+std::string SpanIdHex(uint64_t id);
+
+/// Parses a 32-hex trace id (the /debug/trace/<id> path segment). False on
+/// wrong length or non-hex bytes; uppercase is accepted here (humans paste
+/// these) even though the traceparent grammar requires lowercase.
+bool ParseTraceIdHex(const std::string& hex, uint64_t* hi, uint64_t* lo);
+
+}  // namespace obs
+}  // namespace dar
+
+#endif  // DAR_OBS_TRACE_CONTEXT_H_

@@ -28,6 +28,7 @@ std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
   Pending pending;
   pending.tokens = session_->Encode(text);
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.trace = obs::CurrentRequestTrace();
   std::future<InferenceResult> future = pending.promise.get_future();
   bool notify;
   {
@@ -57,6 +58,7 @@ std::optional<std::future<InferenceResult>> MicroBatcher::TrySubmit(
   // cheap next to the forward it is shedding.
   pending.tokens = session_->Encode(text);
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.trace = obs::CurrentRequestTrace();
   std::future<InferenceResult> future = pending.promise.get_future();
   bool notify;
   {
@@ -176,8 +178,34 @@ void MicroBatcher::WorkerLoop() {
     std::vector<std::vector<int64_t>> sequences;
     sequences.reserve(taken.size());
     for (const Pending& p : taken) sequences.push_back(p.tokens);
-    std::vector<InferenceResult> results =
-        session_->PredictTokenBatch(sequences);
+
+    // One scratch collector times the shared forward when any member of
+    // the batch is traced; afterwards its subtree is copied into every
+    // traced request, with the co-batched trace ids recorded as links.
+    bool any_traced = false;
+    for (const Pending& p : taken) any_traced |= (p.trace != nullptr);
+    std::vector<InferenceResult> results;
+    std::unique_ptr<obs::TraceCollector> batch_trace;
+    if (any_traced) {
+      batch_trace = std::make_unique<obs::TraceCollector>(
+          obs::MakeTraceContext());
+      for (const Pending& p : taken) {
+        if (p.trace != nullptr) batch_trace->AddLink(p.trace->context());
+      }
+      obs::ScopedActiveCollector guard(batch_trace.get());
+      obs::Span batch_span("serve.batch");
+      results = session_->PredictTokenBatch(sequences);
+    } else {
+      results = session_->PredictTokenBatch(sequences);
+    }
+    if (batch_trace != nullptr) {
+      for (Pending& p : taken) {
+        if (p.trace != nullptr) {
+          p.trace->AdoptBatch(*batch_trace,
+                              static_cast<int32_t>(taken.size()));
+        }
+      }
+    }
 
     auto now = std::chrono::steady_clock::now();
     std::vector<int64_t> latencies;

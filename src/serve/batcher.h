@@ -22,12 +22,14 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "serve/session.h"
 
 namespace dar {
@@ -84,6 +86,12 @@ class MicroBatcher {
     std::vector<int64_t> tokens;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// The submitting request's trace (null for untraced callers), picked
+    /// up ambiently from obs::CurrentRequestTrace() at Submit time. The
+    /// worker that serves the batch merges its batch/forward spans into
+    /// every traced member before fulfilling the promise; the promise →
+    /// future edge then hands ownership back to the submitting thread.
+    std::shared_ptr<obs::TraceCollector> trace;
   };
 
   /// How far past one batch the length-aware selection looks into the

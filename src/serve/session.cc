@@ -152,8 +152,11 @@ InferenceResult InferenceSession::PredictOneCached(
   CacheOutcome outcome = CacheOutcome::kMiss;
   Tensor mask;
   Tensor logits;
-  std::shared_ptr<const EncoderStatesEntry> entry =
-      cache_->LookupEncoderStates(cache_model_, ids);
+  std::shared_ptr<const EncoderStatesEntry> entry;
+  {
+    obs::Span lookup_span("serve.cache_lookup");
+    entry = cache_->LookupEncoderStates(cache_model_, ids);
+  }
   if (entry != nullptr) {
     outcome = CacheOutcome::kHit;
     // Restored payloads skipped every autograd-level sentinel when they
