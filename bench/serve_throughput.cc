@@ -29,6 +29,7 @@
 #include "serve/registry.h"
 #include "serve/session.h"
 #include "serve/thread_pool.h"
+#include "sync/mutex.h"
 
 namespace {
 
@@ -567,6 +568,103 @@ int main(int argc, char** argv) {
   std::printf("  ObserveWithExemplar  %12.0f ops/s\n",
               exemplar_observe_per_sec);
 
+  // Sync-layer arms (sync/mutex.h): the runtime gates of the annotated
+  // mutex wrapper, measured on the *batched* path where its locks are
+  // actually hot (batcher queue, thread pool, stats). The gate loads are
+  // compiled in unconditionally, so sync-off is an A/A arm against an
+  // interleaved baseline of the identical configuration — its gated
+  // "overhead" is the off-mode cost of the wrapper plus the harness noise
+  // floor, and <= 2% is the ship criterion. rank / contention / both
+  // price the diagnostic modes (not gated: they are opt-in debugging).
+  RepeatedRate sync_base_rate, sync_off_rate, sync_rank_rate;
+  RepeatedRate sync_contention_rate, sync_both_rate;
+  double sync_lock_pair_off_ns = 0.0;
+  double sync_lock_pair_tracked_ns = 0.0;
+  {
+    serve::BatcherConfig sync_batcher;
+    sync_batcher.num_workers = 2;
+    sync_batcher.max_batch = 16;
+    sync_batcher.max_wait_us = 200;
+    sync_batcher.max_queue = 128;
+    struct SyncArm {
+      bool rank;
+      bool contention;
+      std::vector<double> rates;
+    };
+    SyncArm sync_arms[5] = {{false, false, {}},  // base
+                            {false, false, {}},  // off (A/A, gated)
+                            {true, false, {}},   // rank checks
+                            {false, true, {}},   // contention tracking
+                            {true, true, {}}};   // both
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      for (SyncArm& arm : sync_arms) {
+        sync::SetLockRankCheck(arm.rank);
+        sync::SetContentionTracking(arm.contention);
+        session.stats().Reset();
+        arm.rates.push_back(
+            MeasureBatched(session, requests, sync_batcher, 4));
+      }
+    }
+    sync::SetLockRankCheck(false);
+    sync::SetContentionTracking(false);
+    sync_base_rate = MedianOf(std::move(sync_arms[0].rates));
+    sync_off_rate = MedianOf(std::move(sync_arms[1].rates));
+    sync_rank_rate = MedianOf(std::move(sync_arms[2].rates));
+    sync_contention_rate = MedianOf(std::move(sync_arms[3].rates));
+    sync_both_rate = MedianOf(std::move(sync_arms[4].rates));
+
+    // Micro-probe: an uncontended Lock/Unlock pair, off-mode vs with
+    // contention tracking armed. Resolves the wrapper's absolute cost
+    // (two relaxed loads + branch off-mode; one try_lock extra when
+    // tracking) below what the throughput arms can see.
+    sync::Mutex probe_mu(sync::Rank::kStats, "bench.lock_probe");
+    constexpr int kLockOps = 2000000;
+    auto pair_ns = [&probe_mu] {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kLockOps; ++i) {
+        probe_mu.Lock();
+        probe_mu.Unlock();
+      }
+      std::chrono::duration<double, std::nano> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return elapsed.count() / kLockOps;
+    };
+    pair_ns();  // warm
+    sync_lock_pair_off_ns = pair_ns();
+    sync::SetContentionTracking(true);
+    sync_lock_pair_tracked_ns = pair_ns();
+    sync::SetContentionTracking(false);
+  }
+  const double sync_off_overhead =
+      (sync_base_rate.median / sync_off_rate.median - 1.0) * 100.0;
+  const double sync_rank_overhead =
+      (sync_base_rate.median / sync_rank_rate.median - 1.0) * 100.0;
+  const double sync_contention_overhead =
+      (sync_base_rate.median / sync_contention_rate.median - 1.0) * 100.0;
+  const double sync_both_overhead =
+      (sync_base_rate.median / sync_both_rate.median - 1.0) * 100.0;
+  std::printf("\nsync layer on the batched path (interleaved, median of %d "
+              "reps):\n",
+              overhead_reps);
+  std::printf("  base        %8.0f req/s (baseline, spread %.1f%%)\n",
+              sync_base_rate.median, sync_base_rate.spread_pct);
+  std::printf("  off         %8.0f req/s (%+.2f%% overhead, spread %.1f%%)%s\n",
+              sync_off_rate.median, sync_off_overhead,
+              sync_off_rate.spread_pct,
+              GateVerdict(sync_off_overhead, sync_base_rate, sync_off_rate));
+  std::printf("  rank        %8.0f req/s (%+.2f%% overhead, spread %.1f%%)\n",
+              sync_rank_rate.median, sync_rank_overhead,
+              sync_rank_rate.spread_pct);
+  std::printf("  contention  %8.0f req/s (%+.2f%% overhead, spread %.1f%%)\n",
+              sync_contention_rate.median, sync_contention_overhead,
+              sync_contention_rate.spread_pct);
+  std::printf("  both        %8.0f req/s (%+.2f%% overhead, spread %.1f%%)\n",
+              sync_both_rate.median, sync_both_overhead,
+              sync_both_rate.spread_pct);
+  std::printf("  Lock/Unlock pair  %6.1f ns off-mode, %6.1f ns tracked "
+              "(uncontended)\n",
+              sync_lock_pair_off_ns, sync_lock_pair_tracked_ns);
+
   // HTTP loopback arm: the same request stream through the whole network
   // front — parser, router, micro-batcher — over real loopback sockets
   // with keep-alive clients. The gap to the best in-process batched arm is
@@ -678,6 +776,19 @@ int main(int argc, char** argv) {
   json.Field("trace_sampled_overhead_pct", trace_sampled_overhead, 2);
   json.Field("flight_recorder_record_per_sec", ring_record_per_sec, 0);
   json.Field("exemplar_observe_per_sec", exemplar_observe_per_sec, 0);
+  json.Field("sync_base_rps", sync_base_rate.median, 2);
+  json.Field("sync_base_spread_pct", sync_base_rate.spread_pct, 2);
+  json.Field("sync_off_rps", sync_off_rate.median, 2);
+  json.Field("sync_off_spread_pct", sync_off_rate.spread_pct, 2);
+  json.Field("sync_off_overhead_pct", sync_off_overhead, 2);
+  json.Field("sync_rank_rps", sync_rank_rate.median, 2);
+  json.Field("sync_rank_overhead_pct", sync_rank_overhead, 2);
+  json.Field("sync_contention_rps", sync_contention_rate.median, 2);
+  json.Field("sync_contention_overhead_pct", sync_contention_overhead, 2);
+  json.Field("sync_both_rps", sync_both_rate.median, 2);
+  json.Field("sync_both_overhead_pct", sync_both_overhead, 2);
+  json.Field("sync_lock_pair_off_ns", sync_lock_pair_off_ns, 2);
+  json.Field("sync_lock_pair_tracked_ns", sync_lock_pair_tracked_ns, 2);
   json.Field("http_loopback_rps", http_rps, 2);
   json.Field("http_loopback_fraction_of_best", http_rps / best_rps);
   if (json.Write("BENCH_serve_throughput.json")) {

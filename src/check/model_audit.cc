@@ -12,6 +12,7 @@
 #include "data/dataloader.h"
 #include "datasets/beer.h"
 #include "eval/experiment.h"
+#include "sync/mutex.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -232,6 +233,37 @@ std::vector<SelfTestResult> RunMutationSelfTest() {
     r.detected = !findings.empty();
     r.detail = findings.empty() ? "sentinel recorded nothing"
                                 : findings.front().ToString();
+    results.push_back(std::move(r));
+  }
+
+  // Defect 7: lock acquisition against the documented rank order. A
+  // kStats mutex is held while a kRegistry mutex is acquired — the
+  // inversion the runtime checker exists to catch. Record mode lets the
+  // acquisition proceed and files a finding instead of aborting.
+  {
+    SelfTestResult r{"lock_rank_inversion", false, ""};
+    ScopedRecordingSentinel sentinel;
+    InstallLockRankHandler();
+    const bool was_checking = sync::LockRankCheckEnabled();
+    sync::SetLockRankCheck(true);
+    {
+      sync::Mutex high(sync::Rank::kStats, "selftest.high");
+      sync::Mutex low(sync::Rank::kRegistry, "selftest.low");
+      sync::MutexLock hold_high(high);
+      sync::MutexLock hold_low(low);  // the seeded defect: rank decreases
+    }
+    sync::SetLockRankCheck(was_checking);
+    sync::SetRankViolationHandler(nullptr);  // back to the abort default
+    bool found = false;
+    std::string detail;
+    for (const SentinelFinding& finding : DrainSentinelFindings()) {
+      if (finding.op == "lockrank") {
+        found = true;
+        detail = finding.ToString();
+      }
+    }
+    r.detected = found;
+    r.detail = found ? detail : "no lockrank finding recorded";
     results.push_back(std::move(r));
   }
 

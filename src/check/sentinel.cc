@@ -3,11 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace check {
@@ -19,8 +19,12 @@ std::atomic<bool> g_poison_scratch{false};
 
 namespace {
 
-std::mutex& FindingsMutex() {
-  static std::mutex& mu = *new std::mutex;
+/// kLeaf: the findings list never holds another lock, and the lock-rank
+/// violation handler itself appends here (rank checks are suppressed on
+/// the handling thread, but the rank documents the intent).
+sync::Mutex& FindingsMutex() {
+  static sync::Mutex& mu =
+      *new sync::Mutex(sync::Rank::kLeaf, "check.findings");
   return mu;
 }
 
@@ -50,7 +54,7 @@ void Report(SentinelFinding finding) {
   if (GetSentinelMode() == SentinelMode::kTrap) {
     TrapAbort(finding.ToString());
   }
-  std::lock_guard<std::mutex> lock(FindingsMutex());
+  sync::MutexLock lock(FindingsMutex());
   if (Findings().size() < kMaxStoredFindings) {
     Findings().push_back(std::move(finding));
   }
@@ -128,14 +132,14 @@ bool ScanForNonFinite(const char* op, const char* where, const float* data,
 }
 
 std::vector<SentinelFinding> DrainSentinelFindings() {
-  std::lock_guard<std::mutex> lock(FindingsMutex());
+  sync::MutexLock lock(FindingsMutex());
   std::vector<SentinelFinding> out;
   out.swap(Findings());
   return out;
 }
 
 size_t SentinelFindingCount() {
-  std::lock_guard<std::mutex> lock(FindingsMutex());
+  sync::MutexLock lock(FindingsMutex());
   return Findings().size();
 }
 
@@ -145,6 +149,41 @@ uint32_t TapeOwnerToken() {
   // fetch_add wraps after 2^32 threads; skip the reserved 0.
   if (token == 0) token = next_token.fetch_add(1);
   return token;
+}
+
+namespace {
+
+/// The sentinel-backed rank-violation handler. Runs on the acquiring
+/// thread with rank checks suppressed (sync sets in_violation), so the
+/// obs counter and the findings append below cannot re-trigger it.
+void LockRankSentinel(const sync::RankViolation& violation) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("check.sentinel.lockrank")
+      .Increment();
+  char detail[256];
+  std::snprintf(detail, sizeof(detail),
+                "acquiring '%s' (rank %d) while holding '%s' (rank %d)",
+                violation.acquiring_name, violation.acquiring_rank,
+                violation.held_name, violation.held_rank);
+  if (GetSentinelMode() == SentinelMode::kRecord) {
+    SentinelFinding finding;
+    finding.op = "lockrank";
+    finding.where = detail;
+    sync::MutexLock lock(FindingsMutex());
+    if (Findings().size() < kMaxStoredFindings) {
+      Findings().push_back(std::move(finding));
+    }
+    return;  // acquisition proceeds — the self-test path
+  }
+  TrapAbort("lock-rank violation: " + std::string(detail) +
+            " — acquisition order must strictly increase in rank "
+            "(see the table in src/sync/mutex.h)");
+}
+
+}  // namespace
+
+void InstallLockRankHandler() {
+  sync::SetRankViolationHandler(&LockRankSentinel);
 }
 
 void ReportTapeViolation(const char* what) {
@@ -159,7 +198,7 @@ void ReportTapeViolation(const char* what) {
               " — concurrent Backward()/AccumulateGrad over shared nodes "
               "(see the thread-safety contract in autograd/variable.h)");
   }
-  std::lock_guard<std::mutex> lock(FindingsMutex());
+  sync::MutexLock lock(FindingsMutex());
   if (Findings().size() < kMaxStoredFindings) {
     Findings().push_back(std::move(finding));
   }

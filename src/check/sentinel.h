@@ -123,6 +123,20 @@ uint32_t TapeOwnerToken();
 /// finding with op = "tape", kTrap: aborts).
 void ReportTapeViolation(const char* what);
 
+// ---- Lock-rank violations --------------------------------------------------
+//
+// The sync layer's lock-rank checker (sync/mutex.h) detects
+// acquisition-order inversions; this hook routes them through the same
+// machinery as every other sentinel: an obs counter, a recorded finding
+// with op = "lockrank" in kRecord mode (how dar_check --self-test proves
+// the detector works), and otherwise the trap path that dumps the flight
+// recorder before aborting — a deadlock-in-waiting names the requests in
+// flight when the order went wrong.
+
+/// Installs the sentinel-backed sync::RankViolationHandler (idempotent).
+/// Does NOT enable checking — call sync::SetLockRankCheck(true) too.
+void InstallLockRankHandler();
+
 }  // namespace check
 }  // namespace dar
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/clip.h"
+#include "sync/mutex.h"
 #include "tensor/check.h"
 
 namespace dar {
@@ -163,7 +163,7 @@ float DataParallelTrainer::ReduceGradientsForBatch(const data::Batch& batch) {
   for (ag::Variable& p : master_params_) p.ZeroGrad();
 
   std::vector<double> shard_loss(shards, 0.0);
-  std::mutex reduce_mu;
+  sync::Mutex reduce_mu(sync::Rank::kStats, "train.reduce");
   const bool deterministic = config_.deterministic_reduce;
   for (int64_t s = 0; s < shards; ++s) {
     pool_->Submit([this, s, b, training, deterministic, &row_sets, &batch,
@@ -191,7 +191,7 @@ float DataParallelTrainer::ReduceGradientsForBatch(const data::Batch& batch) {
         // Completion-order reduce: lower latency, float summation order
         // varies run to run. The mutex serializes AccumulateGrad calls into
         // the shared master leaves (see autograd/variable.h).
-        std::lock_guard<std::mutex> lock(reduce_mu);
+        sync::MutexLock lock(reduce_mu);
         AccumulateReplicaGradients(s);
       }
     });

@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "check/graph_audit.h"
 #include "core/parallel_trainer.h"
@@ -15,6 +14,7 @@
 #include "optim/adam.h"
 #include "optim/clip.h"
 #include "serve/thread_pool.h"
+#include "sync/mutex.h"
 #include "tensor/check.h"
 #include "tensor/tensor_ops.h"
 
@@ -231,7 +231,7 @@ float FitPredictorWithMaskParallel(Predictor& predictor,
   data::DataLoader train_loader(dataset.train, batch_size, /*shuffle=*/true);
   data::DataLoader dev_loader(dataset.dev, batch_size, /*shuffle=*/false);
   serve::ThreadPool pool(num_workers);
-  std::mutex reduce_mu;
+  sync::Mutex reduce_mu(sync::Rank::kStats, "train.reduce");
 
   for (int64_t epoch = 0; epoch < epochs; ++epoch) {
     predictor.SetTraining(true);
@@ -257,7 +257,7 @@ float FitPredictorWithMaskParallel(Predictor& predictor,
           ag::Variable loss = nn::CrossEntropy(logits, shard.labels);
           loss.Backward(Tensor(loss.value().shape(), weight));
           if (!parallel.deterministic_reduce) {
-            std::lock_guard<std::mutex> lock(reduce_mu);
+            sync::MutexLock lock(reduce_mu);
             predictor.AccumulateGradientsFrom(replica);
           }
         });

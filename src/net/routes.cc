@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/sync_metrics.h"
 #include "obs/trace.h"
 #include "tensor/check.h"
 
@@ -101,6 +102,7 @@ Router::Router(serve::ModelRegistry& registry, RouterConfig config)
   if (config_.tracing.enabled) {
     tracer_ = std::make_unique<obs::RequestTracer>(config_.tracing);
   }
+  metrics_->SetExemplarMaxAgeUs(config_.tracing.exemplar_max_age_us);
 }
 
 Router::~Router() {
@@ -118,13 +120,13 @@ void Router::ServeModel(const std::string& name,
   endpoint->session = session;
   endpoint->batcher =
       std::make_unique<serve::MicroBatcher>(*session, config_.batcher);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   endpoints_[name] = std::move(endpoint);  // old endpoint freed by last user
 }
 
 std::shared_ptr<Router::Endpoint> Router::FindEndpoint(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = endpoints_.find(name);
   return it == endpoints_.end() ? nullptr : it->second;
 }
@@ -228,7 +230,7 @@ HttpResponse Router::Dispatch(const HttpRequest& request, std::string& route,
 HttpResponse Router::HandleHealthz() {
   size_t models;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     models = endpoints_.size();
   }
   return JsonResponse(200, JsonValue::Object()
@@ -241,6 +243,9 @@ HttpResponse Router::HandleHealthz() {
 HttpResponse Router::HandleMetrics() {
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
+  // Fold the sync layer's contention deltas in first, so the scrape that
+  // follows a contended burst sees it.
+  obs::PublishSyncContentionMetrics(*metrics_);
   response.body = metrics_->ExportPrometheus();
   return response;
 }

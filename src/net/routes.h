@@ -33,7 +33,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "net/http.h"
@@ -43,6 +42,7 @@
 #include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/session.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace net {
@@ -139,8 +139,12 @@ class Router {
   std::unique_ptr<serve::ServeCache> cache_;
   std::unique_ptr<obs::RequestTracer> tracer_;
 
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  /// kRegistry band, like the model registry it fronts: ServeModel holds
+  /// mu_ only around the map swap — never across registry or batcher
+  /// calls — so no higher-rank lock is ever taken under it.
+  sync::Mutex mu_{sync::Rank::kRegistry, "net.router"};
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_
+      DAR_GUARDED_BY(mu_);
 };
 
 }  // namespace net

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -165,13 +166,17 @@ void Histogram::ObserveWithExemplar(double v, uint64_t trace_hi,
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);
   AtomicMax(max_, v);
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  sync::MutexLock lock(exemplar_mu_);
   if (exemplars_.empty()) exemplars_.resize(buckets_.size());
-  exemplars_[idx] = Exemplar{true, v, trace_hi, trace_lo};
+  exemplars_[idx] = Exemplar{true, v, trace_hi, trace_lo, now_us};
 }
 
 std::vector<Histogram::Exemplar> Histogram::Exemplars() const {
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  sync::MutexLock lock(exemplar_mu_);
   return exemplars_;
 }
 
@@ -240,7 +245,7 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  sync::MutexLock lock(exemplar_mu_);
   exemplars_.clear();
 }
 
@@ -263,14 +268,14 @@ int64_t PercentileSorted(const std::vector<int64_t>& sorted, double p) {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -278,14 +283,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
   return *slot;
 }
 
 std::string MetricsRegistry::ExportJsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += "{\"type\":\"counter\",\"name\":\"" + JsonEscape(name) +
@@ -309,7 +314,7 @@ std::string MetricsRegistry::ExportJsonl() const {
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::string out;
   char buf[160];
   // Label dimensions of one metric share a base name; the map's name order
@@ -339,6 +344,19 @@ std::string MetricsRegistry::ExportPrometheus() const {
     out += buf;
   }
   last_type.clear();
+  // Exemplar staleness window: a trace-id link only helps while the tail
+  // sampler (or the ring) still holds the trace, so exemplars older than
+  // the configured window are dropped from the exposition. The bucket
+  // counts they annotate are untouched.
+  const int64_t max_age_us =
+      exemplar_max_age_us_.load(std::memory_order_relaxed);
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  auto exemplar_fresh = [&](const Histogram::Exemplar& exemplar) {
+    return max_age_us <= 0 || now_us - exemplar.unix_us <= max_age_us;
+  };
   for (const auto& [name, hist] : histograms_) {
     SeriesName series = SplitSeries(name);
     type_line(series.base, "histogram");
@@ -358,7 +376,8 @@ std::string MetricsRegistry::ExportPrometheus() const {
                     WithExtraLabel(series.labels, le).c_str(),
                     static_cast<long long>(cumulative));
       out += buf;
-      if (i < exemplars.size() && exemplars[i].valid) {
+      if (i < exemplars.size() && exemplars[i].valid &&
+          exemplar_fresh(exemplars[i])) {
         // OpenMetrics exemplar syntax: `... N # {trace_id="..."} value`.
         std::snprintf(buf, sizeof(buf),
                       " # {trace_id=\"%016llx%016llx\"} %.9g",
@@ -380,7 +399,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, hist] : histograms_) hist->Reset();

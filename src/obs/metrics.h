@@ -20,9 +20,9 @@
 //                        serving stack exposes (serve_demo prints it, CI
 //                        greps it).
 //
-// This header is dependency-free: nothing in src/obs/ includes anything
-// outside the C++ standard library, so every other library (tensor, nn,
-// core, serve) can link it without cycles.
+// This header depends only on the C++ standard library and src/sync/ (the
+// annotated mutex layer at the bottom of the stack), so every other
+// library (tensor, nn, core, serve) can link it without cycles.
 #ifndef DAR_OBS_METRICS_H_
 #define DAR_OBS_METRICS_H_
 
@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sync/mutex.h"
 
 namespace dar {
 namespace obs {
@@ -79,6 +80,10 @@ class Histogram {
     double value = 0.0;
     uint64_t trace_hi = 0;
     uint64_t trace_lo = 0;
+    /// Wall clock at capture; lets the exposition drop exemplars older
+    /// than the registry's staleness window (the tail sampler has usually
+    /// evicted the trace such a link points at).
+    int64_t unix_us = 0;
   };
 
   explicit Histogram(std::vector<double> bounds);
@@ -138,8 +143,11 @@ class Histogram {
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
-  mutable std::mutex exemplar_mu_;
-  std::vector<Exemplar> exemplars_;  // empty until first traced observation
+  /// kObsDetail outranks the registry map's kObsRegistry mutex because
+  /// ExportPrometheus reads exemplars while holding the map lock.
+  mutable sync::Mutex exemplar_mu_{sync::Rank::kObsDetail, "obs.exemplars"};
+  /// Empty until the first traced observation.
+  std::vector<Exemplar> exemplars_ DAR_GUARDED_BY(exemplar_mu_);
 };
 
 /// The 1-2-5 series from 1us to 1e7us (10 s): the shared bucket layout for
@@ -195,15 +203,30 @@ class MetricsRegistry {
   /// Zeroes every instrument (instruments stay registered).
   void ResetAll();
 
+  /// Exemplar staleness window for ExportPrometheus: exemplars captured
+  /// more than `max_age_us` before the export are dropped from the
+  /// exposition (the counts they annotate are untouched). 0 (the default)
+  /// keeps every exemplar forever. Routers wire
+  /// TracerConfig::exemplar_max_age_us here.
+  void SetExemplarMaxAgeUs(int64_t max_age_us) {
+    exemplar_max_age_us_.store(max_age_us, std::memory_order_relaxed);
+  }
+  int64_t exemplar_max_age_us() const {
+    return exemplar_max_age_us_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide registry: span timers flush here by default, and it is
   /// the natural home for anything that wants one export surface.
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable sync::Mutex mu_{sync::Rank::kObsRegistry, "obs.metrics_registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DAR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DAR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DAR_GUARDED_BY(mu_);
+  std::atomic<int64_t> exemplar_max_age_us_{0};
 };
 
 }  // namespace obs

@@ -35,7 +35,7 @@ TraceCollector::TraceCollector(const TraceContext& context)
 }
 
 uint64_t TraceCollector::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   uint64_t id = next_span_id_++;
   open_.push_back(id);
   return id;
@@ -44,7 +44,7 @@ uint64_t TraceCollector::Open() {
 void TraceCollector::Close(uint64_t span_id, const char* name,
                            std::chrono::steady_clock::time_point start,
                            std::chrono::steady_clock::time_point end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   uint64_t parent = kRootSpanId;
   for (size_t i = open_.size(); i-- > 0;) {
     if (open_[i] == span_id) {
@@ -69,7 +69,7 @@ void TraceCollector::Close(uint64_t span_id, const char* name,
 }
 
 void TraceCollector::AddLink(const TraceContext& other) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   ++total_links_;
   if (links_.size() < kMaxLinks) links_.push_back(other);
 }
@@ -78,7 +78,7 @@ void TraceCollector::AdoptBatch(const TraceCollector& batch,
                                 int32_t batch_size) {
   // `batch` is the calling worker's own scratch collector — no other
   // thread touches it — so only this (destination) side locks.
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   // Remap the batch subtree's span ids past our own so both id spaces stay
   // disjoint under the shared root.
   const uint64_t base = next_span_id_;
@@ -113,7 +113,7 @@ void TraceCollector::AdoptBatch(const TraceCollector& batch,
 
 CompletedTrace TraceCollector::Finish(const std::string& route,
                                       const std::string& model, int status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   CompletedTrace out;
   int64_t latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - start_)
@@ -378,21 +378,31 @@ FlightRecorder& FlightRecorder::Global() {
 
 TailSampler::TailSampler() : TailSampler(Config()) {}
 
-TailSampler::TailSampler(Config config) : config_(config) {}
+TailSampler::TailSampler(Config config) : config_(std::move(config)) {}
+
+int64_t TailSampler::ThresholdForRoute(const char* route) const {
+  // config_ is immutable after construction; no lock needed. Linear scan:
+  // route lists are a handful of entries, and this runs once per request.
+  for (const auto& [prefix, threshold_us] : config_.threshold_us_by_route) {
+    if (prefix == route) return threshold_us;
+  }
+  return config_.latency_threshold_us;
+}
 
 TailReason TailSampler::Consider(const std::shared_ptr<CompletedTrace>& trace,
                                  bool error) {
   TailReason reason = TailReason::kNone;
+  const int64_t threshold_us = ThresholdForRoute(trace->summary.route);
   if (error || trace->summary.status >= 400) {
     reason = TailReason::kError;
-  } else if (trace->summary.latency_us >= config_.latency_threshold_us) {
+  } else if (threshold_us >= 0 && trace->summary.latency_us >= threshold_us) {
     reason = TailReason::kSlow;
   }
   trace->summary.tail_reason = static_cast<uint8_t>(reason);
   if (reason == TailReason::kNone) return reason;
 
   std::string key = trace->summary.trace_id;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   fresh_.push_back(trace->summary);
   if (fresh_.size() > config_.max_traces) fresh_.pop_front();
   auto inserted = traces_.emplace(key, trace);
@@ -410,20 +420,20 @@ TailReason TailSampler::Consider(const std::shared_ptr<CompletedTrace>& trace,
 
 std::shared_ptr<const CompletedTrace> TailSampler::Find(
     const std::string& trace_id_hex) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = traces_.find(trace_id_hex);
   return it != traces_.end() ? it->second : nullptr;
 }
 
 std::vector<RequestSummary> TailSampler::DrainNew() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::vector<RequestSummary> out(fresh_.begin(), fresh_.end());
   fresh_.clear();
   return out;
 }
 
 size_t TailSampler::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return traces_.size();
 }
 
@@ -431,8 +441,31 @@ size_t TailSampler::size() const {
 
 RequestTracer::RequestTracer() : RequestTracer(TracerConfig()) {}
 
+namespace {
+
+/// Folds the router-facing millisecond spellings into the sampler's
+/// microsecond override list (explicit microsecond entries win).
+TailSampler::Config MergedTailConfig(const TracerConfig& config) {
+  TailSampler::Config tail = config.tail;
+  for (const auto& [route, slow_ms] : config.slow_ms_by_route) {
+    bool already = false;
+    for (const auto& [existing, unused] : tail.threshold_us_by_route) {
+      if (existing == route) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    tail.threshold_us_by_route.emplace_back(
+        route, slow_ms < 0 ? int64_t{-1} : slow_ms * 1000);
+  }
+  return tail;
+}
+
+}  // namespace
+
 RequestTracer::RequestTracer(TracerConfig config)
-    : config_(config), tail_(config.tail) {
+    : config_(std::move(config)), tail_(MergedTailConfig(config_)) {
   if (config_.crash_dump) InstallFlightRecorderCrashDump();
 }
 

@@ -35,11 +35,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace_context.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace obs {
@@ -122,7 +123,14 @@ class TraceCollector {
   /// `batch_size` stamped, and the batch's links become this trace's
   /// batch_links. Called by the batcher worker before fulfilling the
   /// request's promise.
-  void AdoptBatch(const TraceCollector& batch, int32_t batch_size);
+  ///
+  /// Exempt from thread-safety analysis: it reads `batch`'s guarded
+  /// fields without `batch.mu_` because the source collector is the
+  /// calling worker's private scratch (no other thread can touch it), and
+  /// locking both would be a same-rank acquisition the lock-rank checker
+  /// rightly rejects. Only the destination side locks.
+  void AdoptBatch(const TraceCollector& batch,
+                  int32_t batch_size) DAR_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Seals the trace: emits the root span covering [request start, now]
   /// and returns the heap-form trace. The collector is spent afterwards.
@@ -136,16 +144,16 @@ class TraceCollector {
   /// fulfillment), so every mutator takes this uncontended-in-practice
   /// lock. AdoptBatch's *source* collector is the worker's own scratch
   /// and needs no locking.
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_{sync::Rank::kObsDetail, "obs.trace_collector"};
   TraceContext context_;
   std::chrono::steady_clock::time_point start_;
   int64_t start_unix_us_ = 0;
-  uint64_t next_span_id_ = kRootSpanId + 1;
-  std::vector<uint64_t> open_;  // stack of open span ids
-  std::vector<SpanRecord> spans_;
-  std::vector<TraceContext> links_;
-  uint32_t total_spans_ = 0;
-  uint32_t total_links_ = 0;
+  uint64_t next_span_id_ DAR_GUARDED_BY(mu_) = kRootSpanId + 1;
+  std::vector<uint64_t> open_ DAR_GUARDED_BY(mu_);  // stack of open span ids
+  std::vector<SpanRecord> spans_ DAR_GUARDED_BY(mu_);
+  std::vector<TraceContext> links_ DAR_GUARDED_BY(mu_);
+  uint32_t total_spans_ DAR_GUARDED_BY(mu_) = 0;
+  uint32_t total_links_ DAR_GUARDED_BY(mu_) = 0;
 };
 
 /// Lock-free ring of the last N completed request traces, fixed memory.
@@ -234,6 +242,12 @@ class TailSampler {
   struct Config {
     /// Requests at or above this end-to-end latency are retained.
     int64_t latency_threshold_us = 250000;
+    /// Per-route overrides of the slow threshold (exact route match, e.g.
+    /// "/metrics" → a high threshold so scrapes never crowd out real
+    /// predict traces). Routes not listed use latency_threshold_us; a
+    /// value < 0 disables slow-sampling for that route entirely (errors
+    /// are still retained).
+    std::vector<std::pair<std::string, int64_t>> threshold_us_by_route;
     /// FIFO capacity; the oldest retained trace is evicted past it.
     size_t max_traces = 64;
   };
@@ -258,11 +272,17 @@ class TailSampler {
   const Config& config() const { return config_; }
 
  private:
+  /// The slow threshold for `route`: the per-route override when one
+  /// matches, else the default.
+  int64_t ThresholdForRoute(const char* route) const;
+
   Config config_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const CompletedTrace>> traces_;
-  std::deque<std::string> order_;  // insertion order, for eviction
-  std::deque<RequestSummary> fresh_;
+  mutable sync::Mutex mu_{sync::Rank::kObsDetail, "obs.tail_sampler"};
+  std::map<std::string, std::shared_ptr<const CompletedTrace>> traces_
+      DAR_GUARDED_BY(mu_);
+  /// Insertion order, for eviction.
+  std::deque<std::string> order_ DAR_GUARDED_BY(mu_);
+  std::deque<RequestSummary> fresh_ DAR_GUARDED_BY(mu_);
 };
 
 /// Tracer facade the router owns: completion fan-out to the global flight
@@ -271,6 +291,16 @@ class TailSampler {
 struct TracerConfig {
   bool enabled = true;
   TailSampler::Config tail;
+  /// Per-route slow thresholds in milliseconds, merged into
+  /// tail.threshold_us_by_route by the RequestTracer constructor (the
+  /// router-facing spelling of the same knob: `/metrics` scrapes should
+  /// not pollute the slow-request sampler). < 0 disables slow-sampling
+  /// for the route.
+  std::vector<std::pair<std::string, int64_t>> slow_ms_by_route;
+  /// Exemplar staleness window the router applies to its metrics
+  /// registry (see MetricsRegistry::SetExemplarMaxAgeUs); 0 keeps
+  /// exemplars forever.
+  int64_t exemplar_max_age_us = 0;
   /// Install the SIGSEGV/SIGBUS handler that dumps the global ring before
   /// the process dies (idempotent, process-wide).
   bool crash_dump = true;

@@ -1,0 +1,95 @@
+#include "obs/sync_metrics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sync/mutex.h"
+
+namespace dar {
+namespace obs {
+
+namespace {
+
+/// Cumulative totals already published, per mutex name. Claimed under the
+/// publisher mutex so each delta is merged by exactly one caller; the
+/// merges themselves happen after release (registry instruments are
+/// atomic), keeping this lock leaf-like in practice.
+struct Published {
+  uint64_t contention_total = 0;
+  uint64_t wait_us_sum = 0;
+  std::vector<uint64_t> bucket_counts;
+};
+
+struct PublisherState {
+  sync::Mutex mu{sync::Rank::kObsDetail, "obs.sync_publish"};
+  std::map<std::string, Published> published DAR_GUARDED_BY(mu);
+};
+
+/// Leaked: /metrics scrapes may race static destruction at shutdown.
+PublisherState& State() {
+  static PublisherState& state = *new PublisherState;
+  return state;
+}
+
+/// One claimed delta, ready to merge.
+struct Delta {
+  std::string name;
+  int64_t contention = 0;
+  double wait_us = 0.0;
+  double wait_us_max = 0.0;  // cumulative max: histogram max merges by max
+  std::vector<int64_t> bucket_counts;
+};
+
+}  // namespace
+
+void PublishSyncContentionMetrics(MetricsRegistry& registry) {
+  const std::vector<sync::MutexContentionStats> snapshot =
+      sync::ContentionSnapshot();
+  std::vector<Delta> deltas;
+  deltas.reserve(snapshot.size());
+  PublisherState& state = State();
+  {
+    sync::MutexLock lock(state.mu);
+    for (const sync::MutexContentionStats& stats : snapshot) {
+      Published& prior = state.published[stats.name];
+      if (prior.bucket_counts.empty()) {
+        prior.bucket_counts.resize(stats.bucket_counts.size(), 0);
+      }
+      Delta delta;
+      delta.name = stats.name;
+      delta.contention =
+          static_cast<int64_t>(stats.contention_total - prior.contention_total);
+      delta.wait_us =
+          static_cast<double>(stats.wait_us_sum - prior.wait_us_sum);
+      delta.wait_us_max = static_cast<double>(stats.wait_us_max);
+      delta.bucket_counts.resize(stats.bucket_counts.size(), 0);
+      for (size_t i = 0; i < stats.bucket_counts.size(); ++i) {
+        delta.bucket_counts[i] = static_cast<int64_t>(
+            stats.bucket_counts[i] - prior.bucket_counts[i]);
+      }
+      prior.contention_total = stats.contention_total;
+      prior.wait_us_sum = stats.wait_us_sum;
+      prior.bucket_counts = stats.bucket_counts;
+      deltas.push_back(std::move(delta));
+    }
+  }
+  for (const Delta& delta : deltas) {
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"mutex", delta.name}};
+    Counter& total =
+        registry.GetCounter(LabeledName("sync.contention_total", labels));
+    if (delta.contention > 0) total.Increment(delta.contention);
+    Histogram& wait = registry.GetHistogram(
+        LabeledName("sync.wait_us", labels), sync::ContentionBucketBoundsUs());
+    if (delta.contention > 0) {
+      wait.MergeCounts(delta.bucket_counts.data(), delta.contention,
+                       delta.wait_us, delta.wait_us_max);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace dar

@@ -1,0 +1,36 @@
+// Bridge from the sync layer's per-name contention counters to the
+// metrics registry: the /metrics exposition of lock contention.
+//
+// sync/ sits below obs/ and therefore cannot publish into a
+// MetricsRegistry itself; it only accumulates cumulative per-name atomics
+// (sync::ContentionSnapshot). This bridge converts those cumulatives into
+// registry instruments:
+//
+//   sync_contention_total{mutex="serve.batcher"}   counter
+//   sync_wait_us{mutex="serve.batcher"}            histogram (1-2-5 us
+//                                                  buckets, same layout as
+//                                                  every duration histogram)
+//
+// Publication is delta-based and claim-once: each call computes what
+// accumulated since the previous call (process-wide publisher state) and
+// merges exactly that, so concurrent or repeated /metrics scrapes never
+// double-count. Router::HandleMetrics calls this before exporting.
+#ifndef DAR_OBS_SYNC_METRICS_H_
+#define DAR_OBS_SYNC_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace dar {
+namespace obs {
+
+/// Merges the contention accumulated since the last call into `registry`.
+/// Mutex names that never saw contention still get their counter and
+/// histogram registered (zero-valued) so dashboards see a stable series
+/// set. Thread-safe; cheap when contention tracking is off (the snapshot
+/// is a handful of relaxed loads per registered name).
+void PublishSyncContentionMetrics(MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace dar
+
+#endif  // DAR_OBS_SYNC_METRICS_H_

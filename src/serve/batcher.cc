@@ -32,12 +32,12 @@ std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
   std::future<InferenceResult> future = pending.promise.get_future();
   bool notify;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     DAR_CHECK(!stop_);
     if (config_.max_queue > 0) {
-      space_cv_.wait(lock, [this] {
-        return static_cast<int64_t>(queue_.size()) < config_.max_queue;
-      });
+      while (static_cast<int64_t>(queue_.size()) >= config_.max_queue) {
+        space_cv_.Wait(mu_);
+      }
       DAR_CHECK(!stop_);
     }
     queue_.push_back(std::move(pending));
@@ -45,7 +45,7 @@ std::future<InferenceResult> MicroBatcher::Submit(const std::string& text) {
     // they are busy computing, so the wake would be wasted work.
     notify = static_cast<int64_t>(queue_.size()) <= config_.max_batch;
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
   return future;
 }
 
@@ -62,7 +62,7 @@ std::optional<std::future<InferenceResult>> MicroBatcher::TrySubmit(
   std::future<InferenceResult> future = pending.promise.get_future();
   bool notify;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     DAR_CHECK(!stop_);
     if (config_.max_queue > 0 &&
         static_cast<int64_t>(queue_.size()) >= config_.max_queue) {
@@ -71,18 +71,18 @@ std::optional<std::future<InferenceResult>> MicroBatcher::TrySubmit(
     queue_.push_back(std::move(pending));
     notify = static_cast<int64_t>(queue_.size()) <= config_.max_batch;
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
   return future;
 }
 
 void MicroBatcher::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (stop_ && workers_.empty()) return;
     stop_ = true;
   }
-  cv_.notify_all();
-  space_cv_.notify_all();
+  cv_.NotifyAll();
+  space_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 }
@@ -152,18 +152,25 @@ void MicroBatcher::WorkerLoop() {
     std::vector<Pending> taken;
     {
       obs::Span collect_span("serve.batch_collect");
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      sync::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and fully drained
       if (!stop_ && config_.max_wait_us > 0 &&
           static_cast<int64_t>(queue_.size()) < config_.max_batch) {
         // Linger briefly so concurrent submitters can fill the batch; wake
-        // early once it is full or shutdown begins.
-        cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
-                     [this] {
-                       return stop_ || static_cast<int64_t>(queue_.size()) >=
-                                           config_.max_batch;
-                     });
+        // early once it is full or shutdown begins. Explicit deadline loop
+        // (predicate waits cannot carry thread-safety annotations).
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(config_.max_wait_us);
+        while (!stop_ &&
+               static_cast<int64_t>(queue_.size()) < config_.max_batch) {
+          const int64_t remaining_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+          if (remaining_us <= 0) break;
+          cv_.WaitForUs(mu_, remaining_us);
+        }
       }
       size_t take = std::min(queue_.size(),
                              static_cast<size_t>(config_.max_batch));
@@ -172,8 +179,8 @@ void MicroBatcher::WorkerLoop() {
     }
     // Another worker may still be needed for what remains in the queue,
     // and blocked submitters now have space.
-    cv_.notify_one();
-    if (config_.max_queue > 0) space_cv_.notify_all();
+    cv_.NotifyOne();
+    if (config_.max_queue > 0) space_cv_.NotifyAll();
 
     std::vector<std::vector<int64_t>> sequences;
     sequences.reserve(taken.size());

@@ -18,12 +18,10 @@
 #define DAR_SERVE_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -31,6 +29,7 @@
 
 #include "obs/recorder.h"
 #include "serve/session.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace serve {
@@ -65,7 +64,8 @@ class MicroBatcher {
   /// Enqueues one text; the future resolves once a worker has served it.
   /// Blocks while the queue is at `max_queue` (when bounded). Thread-safe;
   /// every Submit must have returned before Shutdown begins.
-  std::future<InferenceResult> Submit(const std::string& text);
+  std::future<InferenceResult> Submit(const std::string& text)
+      DAR_EXCLUDES(mu_);
 
   /// Non-blocking Submit: nullopt when the queue is at `max_queue` instead
   /// of waiting for space ("queue full / would block" made observable —
@@ -73,11 +73,11 @@ class MicroBatcher {
   /// than tying up connection threads). Unbounded queues never reject.
   /// Same thread-safety and shutdown contract as Submit.
   std::optional<std::future<InferenceResult>> TrySubmit(
-      const std::string& text);
+      const std::string& text) DAR_EXCLUDES(mu_);
 
   /// Stops accepting requests, serves everything still queued, and joins
   /// the workers. Idempotent; also run by the destructor.
-  void Shutdown();
+  void Shutdown() DAR_EXCLUDES(mu_);
 
   const BatcherConfig& config() const { return config_; }
 
@@ -100,20 +100,25 @@ class MicroBatcher {
 
   /// Removes and returns `take` requests from the queue: the whole queue
   /// when it fits, otherwise a length-homogeneous subset that always
-  /// includes the oldest request. Requires `mu_` held and
-  /// `take <= queue_.size()`.
-  std::vector<Pending> TakeBatchLocked(size_t take);
+  /// includes the oldest request. Requires `take <= queue_.size()`.
+  std::vector<Pending> TakeBatchLocked(size_t take) DAR_REQUIRES(mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() DAR_EXCLUDES(mu_);
 
   const InferenceSession* session_;
   BatcherConfig config_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable space_cv_;  // signaled when queued count drops
-  std::deque<Pending> queue_;
-  bool stop_ = false;
+  /// kBatcher sits above the registry/cache band and below stats/obs:
+  /// workers release mu_ before the forward, so the only locks taken
+  /// while holding it are none — the rank just pins the batcher's place
+  /// in the global order.
+  sync::Mutex mu_{sync::Rank::kBatcher, "serve.batcher"};
+  sync::CondVar cv_;
+  sync::CondVar space_cv_;  // signaled when queued count drops
+  std::deque<Pending> queue_ DAR_GUARDED_BY(mu_);
+  bool stop_ DAR_GUARDED_BY(mu_) = false;
+  /// Written by the constructor, joined/cleared by Shutdown (which checks
+  /// emptiness under mu_ only to make Shutdown idempotent).
   std::vector<std::thread> workers_;
 };
 

@@ -57,14 +57,14 @@ ServeCache::ServeCache(CacheConfig config) : config_(std::move(config)) {
 }
 
 void ServeCache::PublishMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(models_mu_);
+  sync::MutexLock lock(models_mu_);
   metrics_ = metrics;
   if (metrics_ == nullptr) return;
   for (auto& [id, state] : models_) BindInstrumentsLocked(*state);
 }
 
 ServeCache::ModelId ServeCache::RegisterModel(const std::string& label) {
-  std::lock_guard<std::mutex> lock(models_mu_);
+  sync::MutexLock lock(models_mu_);
   ModelId id = next_model_id_++;
   auto state = std::make_unique<ModelState>();
   state->label = label;
@@ -95,7 +95,7 @@ void ServeCache::BindInstrumentsLocked(ModelState& state) {
 }
 
 ServeCache::ModelState* ServeCache::FindModel(ModelId model) const {
-  std::lock_guard<std::mutex> lock(models_mu_);
+  sync::MutexLock lock(models_mu_);
   auto it = models_.find(model);
   // ModelState addresses are stable (unique_ptr values, never erased), so
   // handing the pointer out of the lock is safe.
@@ -180,7 +180,7 @@ bool ServeCache::LookupEmbeddingRow(ModelId model, uint32_t table_tag,
   Shard<EmbeddingEntry>& shard = EmbeddingShardFor(key);
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       EmbeddingEntry& e = *it->second;
@@ -217,7 +217,7 @@ void ServeCache::InsertEmbeddingRow(ModelId model, uint32_t table_tag,
 
   std::vector<EmbeddingEntry> evicted;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Already present (same key): refresh recency, keep the stored row.
@@ -260,7 +260,7 @@ std::shared_ptr<const EncoderStatesEntry> ServeCache::LookupEncoderStates(
   std::shared_ptr<const EncoderStatesEntry> result;
   bool collision = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     auto it = shard.index.find(digest);
     if (it != shard.index.end()) {
       EncoderSlot& slot = *it->second;
@@ -310,7 +310,7 @@ void ServeCache::InsertEncoderStates(ModelId model,
 
   std::vector<EncoderSlot> evicted;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     auto it = shard.index.find(digest);
     if (it != shard.index.end()) {
       // Digest already occupied: same sequence -> refresh recency; a
@@ -355,7 +355,7 @@ void ServeCache::InvalidateModel(ModelId model) {
     Shard<EmbeddingEntry>& shard = *shard_ptr;
     int64_t bytes_removed = 0, entries_removed = 0;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      sync::MutexLock lock(shard.mu);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (it->model != model) {
           ++it;
@@ -376,7 +376,7 @@ void ServeCache::InvalidateModel(ModelId model) {
     Shard<EncoderSlot>& shard = *shard_ptr;
     int64_t bytes_removed = 0, entries_removed = 0;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      sync::MutexLock lock(shard.mu);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (it->model != model) {
           ++it;
@@ -414,7 +414,7 @@ bool ServeCache::CorruptEncoderEntryForTesting(
     ModelId model, const std::vector<int64_t>& ids) {
   uint64_t digest = SequenceDigest(model, ids);
   Shard<EncoderSlot>& shard = EncoderShardFor(digest);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   auto it = shard.index.find(digest);
   if (it == shard.index.end()) return false;
   EncoderSlot& slot = *it->second;

@@ -51,12 +51,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sync/mutex.h"
 #include "tensor/tensor.h"
 
 namespace dar {
@@ -224,13 +224,17 @@ class ServeCache {
   };
 
   /// One lock stripe of one tier: LRU list (front = most recent) plus a
-  /// key -> list-position index and byte accounting.
+  /// key -> list-position index and byte accounting. All shard mutexes
+  /// share one rank (and one contention-counter name): a thread holds at
+  /// most one stripe at a time, and the rank checker's equal-rank rule
+  /// turns any accidental shard-in-shard nesting into an abort.
   template <typename Entry>
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index;
-    size_t bytes = 0;
+    sync::Mutex mu{sync::Rank::kCacheShard, "serve.cache_shard"};
+    std::list<Entry> lru DAR_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index
+        DAR_GUARDED_BY(mu);
+    size_t bytes DAR_GUARDED_BY(mu) = 0;
   };
 
   /// Per-(model, tier) counters plus cached instrument pointers (null
@@ -263,8 +267,8 @@ class ServeCache {
   Shard<EmbeddingEntry>& EmbeddingShardFor(uint64_t key);
   Shard<EncoderSlot>& EncoderShardFor(uint64_t key);
   size_t TierShardBudget() const;
-  ModelState* FindModel(ModelId model) const;
-  void BindInstrumentsLocked(ModelState& state);
+  ModelState* FindModel(ModelId model) const DAR_EXCLUDES(models_mu_);
+  void BindInstrumentsLocked(ModelState& state) DAR_REQUIRES(models_mu_);
   static void RecordLookup(TierCounters& tc, bool hit);
   static void RecordBytesDelta(TierCounters& tc, int64_t delta,
                                int64_t entries_delta);
@@ -273,10 +277,16 @@ class ServeCache {
   std::vector<std::unique_ptr<Shard<EmbeddingEntry>>> embedding_shards_;
   std::vector<std::unique_ptr<Shard<EncoderSlot>>> encoder_shards_;
 
-  mutable std::mutex models_mu_;
-  std::unordered_map<ModelId, std::unique_ptr<ModelState>> models_;
-  ModelId next_model_id_ = 1;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Model-table rank sits below the shard rank: FindModel releases
+  /// models_mu_ before any stripe is touched (ModelState pointers are
+  /// stable), so the two are never actually nested — distinct ranks keep
+  /// it that way mechanically.
+  mutable sync::Mutex models_mu_{sync::Rank::kCacheTable,
+                                 "serve.cache_models"};
+  std::unordered_map<ModelId, std::unique_ptr<ModelState>> models_
+      DAR_GUARDED_BY(models_mu_);
+  ModelId next_model_id_ DAR_GUARDED_BY(models_mu_) = 1;
+  obs::MetricsRegistry* metrics_ DAR_GUARDED_BY(models_mu_) = nullptr;
 };
 
 }  // namespace serve

@@ -8,19 +8,19 @@ namespace dar {
 namespace serve {
 
 void ModelRegistry::PublishMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   metrics_ = metrics;
 }
 
 void ModelRegistry::AttachCache(ServeCache* cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   cache_ = cache;
 }
 
 void ModelRegistry::Register(const std::string& name,
                              std::shared_ptr<InferenceSession> session) {
   DAR_CHECK(session != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (metrics_ != nullptr) session->BindStats(metrics_, name);
   if (cache_ != nullptr) session->EnableCache(cache_, name);
   auto it = sessions_.find(name);
@@ -34,7 +34,7 @@ void ModelRegistry::Register(const std::string& name,
 }
 
 bool ModelRegistry::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = sessions_.find(name);
   if (it == sessions_.end()) return false;
   it->second->InvalidateCacheEntries();
@@ -44,13 +44,13 @@ bool ModelRegistry::Unregister(const std::string& name) {
 
 std::shared_ptr<InferenceSession> ModelRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> ModelRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(sessions_.size());
   for (const auto& [name, session] : sessions_) names.push_back(name);

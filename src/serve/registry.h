@@ -5,7 +5,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/session.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace serve {
@@ -66,10 +66,14 @@ class ModelRegistry {
                                          const std::string& text) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<InferenceSession>> sessions_;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  ServeCache* cache_ = nullptr;
+  /// kRegistry is the lowest rank band: Register holds mu_ while binding
+  /// stats (obs registry, rank 50) and enabling the cache (cache table,
+  /// rank 20), so everything it calls into must outrank it.
+  mutable sync::Mutex mu_{sync::Rank::kRegistry, "serve.registry"};
+  std::map<std::string, std::shared_ptr<InferenceSession>> sessions_
+      DAR_GUARDED_BY(mu_);
+  obs::MetricsRegistry* metrics_ DAR_GUARDED_BY(mu_) = nullptr;
+  ServeCache* cache_ DAR_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace serve

@@ -64,7 +64,7 @@ ServingStats::ServingStats(obs::MetricsRegistry* registry, std::string prefix,
 }
 
 void ServingStats::RecordBatch(int64_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   batches_->Increment();
   requests_->Increment(batch_size);
   ++batch_size_histogram_[batch_size];
@@ -95,17 +95,17 @@ void ServingStats::RecordCacheOutcome(CacheOutcome outcome) {
 }
 
 void ServingStats::RecordLatencyUs(int64_t us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   ObserveLatencyLocked(us);
 }
 
 void ServingStats::RecordLatenciesUs(const std::vector<int64_t>& us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   for (int64_t v : us) ObserveLatencyLocked(v);
 }
 
 StatsSnapshot ServingStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   StatsSnapshot snapshot;
   snapshot.requests = requests_->value();
   snapshot.batches = batches_->value();
@@ -147,7 +147,7 @@ StatsSnapshot ServingStats::Snapshot() const {
 }
 
 void ServingStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   requests_->Reset();
   batches_->Reset();
   cache_hit_requests_->Reset();

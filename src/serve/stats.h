@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "serve/cache.h"
+#include "sync/mutex.h"
 
 namespace dar {
 namespace serve {
@@ -115,7 +115,7 @@ class ServingStats {
   std::string ExportPrometheus() const { return registry_->ExportPrometheus(); }
 
  private:
-  void ObserveLatencyLocked(int64_t us);
+  void ObserveLatencyLocked(int64_t us) DAR_REQUIRES(mu_);
 
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   obs::MetricsRegistry* registry_;
@@ -130,13 +130,16 @@ class ServingStats {
   obs::Histogram* latency_hist_;
   obs::Histogram* batch_size_hist_;
 
-  mutable std::mutex mu_;
-  std::map<int64_t, int64_t> batch_size_histogram_;
+  /// kStats: held only around the local accumulators below — the cached
+  /// instrument pointers above are lock-free and never touched under mu_
+  /// with another lock in hand.
+  mutable sync::Mutex mu_{sync::Rank::kStats, "serve.stats"};
+  std::map<int64_t, int64_t> batch_size_histogram_ DAR_GUARDED_BY(mu_);
   /// Exact sample: grows until exact_latency_cap_, then freezes (the
   /// histogram keeps absorbing everything).
-  std::vector<int64_t> latencies_us_;
-  int64_t latency_count_ = 0;
-  int64_t latency_max_us_ = 0;
+  std::vector<int64_t> latencies_us_ DAR_GUARDED_BY(mu_);
+  int64_t latency_count_ DAR_GUARDED_BY(mu_) = 0;
+  int64_t latency_max_us_ DAR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

@@ -8,12 +8,12 @@
 #ifndef DAR_SERVE_THREAD_POOL_H_
 #define DAR_SERVE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sync/mutex.h"
 
 namespace dar {
 namespace serve {
@@ -31,22 +31,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after Shutdown.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DAR_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() DAR_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DAR_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: task or stop
-  std::condition_variable idle_cv_;   // signals Wait(): all drained
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool stop_ = false;
+  /// Same rank band as the batcher: tasks run with mu_ released, so pool
+  /// and batcher locks are never nested in either direction.
+  sync::Mutex mu_{sync::Rank::kBatcher, "serve.thread_pool"};
+  sync::CondVar work_cv_;  // signals workers: task or stop
+  sync::CondVar idle_cv_;  // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_ DAR_GUARDED_BY(mu_);
+  int active_ DAR_GUARDED_BY(mu_) = 0;
+  bool stop_ DAR_GUARDED_BY(mu_) = false;
+  /// Thread-confined: written by the constructor, joined by the
+  /// destructor; workers never touch the vector itself.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,40 @@
+// Seeded thread-safety-analysis violation — this file is DELIBERATELY
+// wrong and is excluded from every build target and from the clean `lint`
+// run (see the LINT_SOURCES filter in the top-level CMakeLists.txt).
+//
+// CI's thread-safety lane compiles it with
+//   clang++ -std=c++20 -Isrc -fsyntax-only -Wthread-safety
+//           -Werror=thread-safety tests/lint_corpus/guarded_by_violation.cc
+// and FAILS unless the compile fails: a negative self-test that the
+// DAR_GUARDED_BY annotations in src/sync/annotations.h really expand to
+// Clang TSA attributes and that the analysis is armed. If a refactor ever
+// turned the macros into no-ops under Clang, this file would start
+// compiling cleanly and the lane would catch it.
+//
+// Never "fix" this defect; it is the test fixture.
+#include <cstdint>
+
+#include "sync/mutex.h"
+
+namespace lint_corpus {
+
+class Counter {
+ public:
+  // Seeded defect: reads and writes `value_` without holding `mu_`.
+  // Clang TSA: error: reading/writing variable 'value_' requires holding
+  // mutex 'mu_' [-Werror,-Wthread-safety-analysis].
+  void UnguardedIncrement() { ++value_; }
+  int64_t UnguardedRead() const { return value_; }
+
+ private:
+  mutable dar::sync::Mutex mu_{dar::sync::Rank::kLeaf, "lint_corpus.counter"};
+  int64_t value_ DAR_GUARDED_BY(mu_) = 0;
+};
+
+inline int64_t Touch() {
+  Counter counter;
+  counter.UnguardedIncrement();
+  return counter.UnguardedRead();
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,43 @@
+// Seeded-defect corpus for the clang-tidy lint wall — this file is
+// DELIBERATELY buggy and is excluded from the clean `lint` target (see the
+// LINT_SOURCES filter in the top-level CMakeLists.txt).
+//
+// CI's lint lane runs clang-tidy over this file directly and FAILS unless
+// it exits non-zero: a self-test that the .clang-tidy configuration still
+// has its teeth. Each block below seeds one defect from a check family the
+// wall claims to enforce; if a future .clang-tidy edit silently disables
+// one of those families, the corpus run goes green-on-buggy-code and the
+// CI step catches it.
+//
+// Never "fix" these defects; they are the test fixture.
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lint_corpus {
+
+// bugprone-use-after-move: `moved` is read after std::move handed its
+// guts to `sink`.
+std::size_t UseAfterMove() {
+  std::string moved = "the pour is a hazy golden";
+  std::string sink = std::move(moved);
+  return moved.size() + sink.size();  // seeded defect
+}
+
+// concurrency-mt-unsafe: std::rand() shares hidden state across threads.
+int MtUnsafeRand() {
+  return std::rand();  // seeded defect
+}
+
+// performance-unnecessary-copy-initialization: `copy` could bind by
+// const reference; the wall flags the gratuitous deep copy.
+std::size_t GratuitousCopy(const std::vector<std::string>& rows) {
+  std::size_t total = 0;
+  for (const auto row : rows) {  // seeded defect: copies every row
+    total += row.size();
+  }
+  return total;
+}
+
+}  // namespace lint_corpus
