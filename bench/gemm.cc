@@ -1,0 +1,203 @@
+// GEMM kernel-layer bench: blocked/packed kernel vs the seed naive matmul.
+//
+// Measures, per encoder-relevant shape class and per transpose variant:
+//   * GFLOP/s of the blocked kernel (tensor/gemm.h),
+//   * speedup over the seed repo's naive kernel (reproduced below verbatim,
+//     zero-skip branch included), and
+//   * thread scaling at the largest shape (single-core containers will
+//     honestly record ~1x, like train_scaling does).
+//
+// Emits BENCH_gemm.json. The headline field `speedup_256cubed` (blocked vs
+// seed-naive at 256x256x256, single-threaded) is the one CI smoke-greps.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tensor/gemm.h"
+#include "tensor/random.h"
+
+namespace dar {
+namespace bench {
+namespace {
+
+/// The seed repo's MatMul inner loops, kept verbatim as the speedup
+/// baseline: i-k-j order with the per-element zero-skip branch the kernel
+/// layer removed. (GemmReference is NOT this — it is the std::fma witness;
+/// the seed kernel is what the acceptance speedup is measured against.)
+void SeedNaiveMatMul(int64_t m, int64_t n, int64_t k, const float* a,
+                     const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[kk * n + j];
+      }
+    }
+  }
+}
+
+double MedianMs(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct ShapeResult {
+  std::string label;
+  int64_t m, n, k;
+  double naive_ms;
+  double blocked_ms;
+  double gflops;   // blocked kernel throughput
+  double speedup;  // naive_ms / blocked_ms
+};
+
+/// Times one shape: median-of-`reps` for both kernels on identical inputs.
+ShapeResult TimeShape(const std::string& label, gemm::Trans trans, int64_t m,
+                      int64_t n, int64_t k, int reps) {
+  Pcg32 rng(1234 + m + n + k);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (float& x : a) x = rng.NextFloat() * 2.0f - 1.0f;
+  for (float& x : b) x = rng.NextFloat() * 2.0f - 1.0f;
+  std::vector<float> c(static_cast<size_t>(m * n));
+
+  auto time_one = [&](auto&& fn) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(reps));
+    for (int rep = 0; rep < reps; ++rep) {
+      std::fill(c.begin(), c.end(), 0.0f);
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return MedianMs(samples);
+  };
+
+  ShapeResult r{label, m, n, k, 0.0, 0.0, 0.0, 0.0};
+  // The seed kernel only ever implemented the NN orientation; time the
+  // equivalent-cost NN product as its stand-in for TA/TB rows.
+  r.naive_ms =
+      time_one([&] { SeedNaiveMatMul(m, n, k, a.data(), b.data(), c.data()); });
+  r.blocked_ms = time_one(
+      [&] { gemm::Gemm(trans, m, n, k, a.data(), b.data(), c.data()); });
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  r.gflops = flops / (r.blocked_ms * 1e6);
+  r.speedup = r.naive_ms / r.blocked_ms;
+  return r;
+}
+
+std::string ResultJson(const ShapeResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"shape\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                "\"naive_ms\": %.3f, \"blocked_ms\": %.3f, \"gflops\": %.2f, "
+                "\"speedup\": %.2f}",
+                r.label.c_str(), static_cast<long long>(r.m),
+                static_cast<long long>(r.n), static_cast<long long>(r.k),
+                r.naive_ms, r.blocked_ms, r.gflops, r.speedup);
+  return buf;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  PrintHeader("GEMM kernel layer",
+              "kernel substrate for all encoder forwards/backwards "
+              "(supports every paper table; no table of its own)",
+              options);
+
+  const int reps = options.quick ? 3 : 7;
+  gemm::SetKernelThreads(1);
+
+  // Shape classes: the acceptance square, the encoder's flat input
+  // projection, the tiny recurrent step (small-path regression guard), and
+  // the backward's transposed products at the acceptance size.
+  struct Case {
+    const char* label;
+    gemm::Trans trans;
+    int64_t m, n, k;
+  };
+  const Case cases[] = {
+      {"square_256_nn", gemm::Trans::kNN, 256, 256, 256},
+      {"square_128_nn", gemm::Trans::kNN, 128, 128, 128},
+      {"flat_proj_nn", gemm::Trans::kNN, 512, 96, 32},
+      {"recurrent_step_nn", gemm::Trans::kNN, 64, 72, 24},
+      {"backward_ta_256", gemm::Trans::kTA, 256, 256, 256},
+      {"backward_tb_256", gemm::Trans::kTB, 256, 256, 256},
+  };
+
+  std::printf("%-20s %6s %6s %6s %12s %12s %9s %9s\n", "shape", "m", "n", "k",
+              "naive_ms", "blocked_ms", "GFLOP/s", "speedup");
+  std::string results = "[\n    ";
+  double speedup_256 = 0.0;
+  double gflops_256 = 0.0;
+  bool first = true;
+  for (const Case& cs : cases) {
+    ShapeResult r = TimeShape(cs.label, cs.trans, cs.m, cs.n, cs.k, reps);
+    std::printf("%-20s %6lld %6lld %6lld %12.3f %12.3f %9.2f %9.2f\n",
+                r.label.c_str(), static_cast<long long>(r.m),
+                static_cast<long long>(r.n), static_cast<long long>(r.k),
+                r.naive_ms, r.blocked_ms, r.gflops, r.speedup);
+    std::fflush(stdout);
+    if (!first) results += ",\n    ";
+    results += ResultJson(r);
+    first = false;
+    if (r.label == "square_256_nn") {
+      speedup_256 = r.speedup;
+      gflops_256 = r.gflops;
+    }
+  }
+  results += "\n  ]";
+
+  // Thread-scaling arm at the acceptance shape. Results are bit-identical
+  // across worker counts by construction (gemm.h); only latency can move.
+  std::printf("\nthread scaling at 256x256x256 (total threads incl. caller):\n");
+  std::string scaling = "[\n    ";
+  double base_ms = 0.0;
+  for (int threads : {1, 2, 4}) {
+    gemm::SetKernelThreads(threads);
+    ShapeResult r =
+        TimeShape("square_256_nn", gemm::Trans::kNN, 256, 256, 256, reps);
+    if (threads == 1) base_ms = r.blocked_ms;
+    const double scale = base_ms / r.blocked_ms;
+    std::printf("  threads=%d  %8.3f ms  %6.2fx\n", threads, r.blocked_ms,
+                scale);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"threads\": %d, \"blocked_ms\": %.3f, \"scale\": %.2f}",
+                  threads, r.blocked_ms, scale);
+    if (threads != 1) scaling += ",\n    ";
+    scaling += buf;
+  }
+  scaling += "\n  ]";
+  gemm::SetKernelThreads(1);
+
+  std::printf("\nheadline: blocked vs seed-naive at 256^3 = %.2fx (%.2f "
+              "GFLOP/s)\n",
+              speedup_256, gflops_256);
+
+  BenchJsonWriter json("gemm", options);
+  json.Field("speedup_256cubed", speedup_256, 2);
+  json.Field("gflops_256cubed", gflops_256, 2);
+  json.RawField("results", results);
+  json.RawField("thread_scaling", scaling);
+  if (!json.Write("BENCH_gemm.json")) {
+    std::fprintf(stderr, "failed to write BENCH_gemm.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_gemm.json\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dar
+
+int main(int argc, char** argv) { return dar::bench::Main(argc, argv); }

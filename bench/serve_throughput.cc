@@ -671,9 +671,10 @@ int main(int argc, char** argv) {
   // the cost of the HTTP layer itself (syscalls, framing, JSON).
   double http_rps = 0.0;
   {
-    // The router rebinds the session's stats under a {model=...} label;
-    // that is fine here because every in-process arm above has already
-    // been measured. Non-owning alias: the session outlives the registry.
+    // The router rebinds the session's stats under a {model=...} label
+    // into its own metrics registry; ~ModelRegistry restores the binding
+    // when this scope ends, so the outliving session's stats stay valid.
+    // Non-owning alias: the session outlives the registry.
     std::shared_ptr<serve::InferenceSession> shared_session(
         &session, [](serve::InferenceSession*) {});
     serve::ModelRegistry registry;

@@ -1,3 +1,8 @@
+// Matrix-product ops. Forward and backward all route through the three
+// tensor_ops wrappers, and those share one blocked GEMM kernel
+// (tensor/gemm.h) for every transpose orientation — the backward's
+// dC*B^T / A^T*dC products ride the same packed fast path as the forward,
+// with no transpose ever materialized.
 #include <utility>
 
 #include "autograd/ops.h"

@@ -61,6 +61,14 @@ struct TrainConfig {
   // Reproducibility.
   uint64_t seed = 42;
 
+  /// GEMM kernel threads for large encoder matmuls (tensor/gemm.h). Fit()
+  /// applies the knob process-wide at entry: n > 1 builds the kernel pool
+  /// (results stay bit-identical to single-threaded — the M partition is
+  /// fixed, see gemm.h), 1 forces the inline path, 0 leaves the current
+  /// process setting untouched. Composes with data-parallel training: the
+  /// shard replicas share one kernel pool.
+  int kernel_threads = 0;
+
   /// When true, Fit() runs the autograd graph auditor (check/graph_audit.h)
   /// on the very first training step, right after the first Backward():
   /// the optimizer's parameter list is cross-checked against the recorded

@@ -16,6 +16,7 @@
 #include "serve/thread_pool.h"
 #include "sync/mutex.h"
 #include "tensor/check.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace dar {
@@ -61,6 +62,10 @@ void AuditFirstStepOrDie(RationalizerBase& model, const ag::Variable& loss) {
 TrainRun Fit(RationalizerBase& model, const datasets::SyntheticDataset& dataset,
              bool verbose, obs::TrainObserver* observer) {
   const TrainConfig& config = model.config();
+  // Kernel-thread knob: applied at entry (a quiesced point — no forward is
+  // in flight). Bit-identical for any value, so training results do not
+  // depend on it.
+  if (config.kernel_threads > 0) gemm::SetKernelThreads(config.kernel_threads);
   model.Prepare(dataset);
 
   // Telemetry fan-out: the classic verbose console line is itself a

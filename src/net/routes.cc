@@ -7,6 +7,7 @@
 #include "obs/sync_metrics.h"
 #include "obs/trace.h"
 #include "tensor/check.h"
+#include "tensor/gemm.h"
 
 namespace dar {
 namespace net {
@@ -87,6 +88,11 @@ JsonValue ResultToJson(const std::string& model,
 
 Router::Router(serve::ModelRegistry& registry, RouterConfig config)
     : registry_(&registry), config_(std::move(config)) {
+  // Kernel-thread knob before any traffic: responses are bit-identical for
+  // any value (gemm.h), so this only moves serve.forward latency.
+  if (config_.serve.kernel_threads > 0) {
+    gemm::SetKernelThreads(config_.serve.kernel_threads);
+  }
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {

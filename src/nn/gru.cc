@@ -1,10 +1,12 @@
 #include "nn/gru.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
 #include "tensor/check.h"
+#include "tensor/fastmath.h"
 #include "tensor/tensor_ops.h"
 
 namespace dar {
@@ -18,6 +20,134 @@ Tensor MaskColumn(const Tensor& valid, int64_t t) {
   Tensor out(Shape{b});
   for (int64_t i = 0; i < b; ++i) out.at(i) = valid.at(i, t);
   return out;
+}
+
+/// Fused GRU cell: one op node in place of the ~12 slice/activation/
+/// arithmetic nodes the recurrence used to record per timestep. The two
+/// projections stay ordinary MatMuls (they ride the packed GEMM kernel);
+/// this op fuses everything after them — gates, candidate, state blend,
+/// and the optional padding freeze — into a single pass over [B, H].
+///
+/// Forward, for gate layout [z | r | n] in the 3H projections:
+///   z = sigmoid(p[:, 0H:1H] + q[:, 0H:1H])
+///   r = sigmoid(p[:, 1H:2H] + q[:, 1H:2H])
+///   n = tanh  (p[:, 2H:3H] + r  * q[:, 2H:3H])
+///   h' = (1 - z) * n + z * h
+///   out = mask * h' + (1 - mask) * h        (mask == nullptr: out = h')
+///
+/// The formulas — including FastSigmoid/FastTanh (tensor/fastmath.h) —
+/// are expression-for-expression the composition this replaced; the only
+/// permitted divergence is FP contraction within the fused expressions.
+/// There is exactly one implementation, so every consumer (training,
+/// serving, cached and uncached paths, all replica counts) sees identical
+/// bits — which is what the differential harnesses certify.
+///
+/// Backward (g = d out): with gm = g * mask (or g when unmasked),
+///   dh  = gm * z + g * (1 - mask)
+///   dn  = gm * (1 - z);        dt   = dn * (1 - n^2)
+///   dp2 = dt;                  dq2  = dt * r;   dr = dt * q2
+///   dp1 = dq1 = dr * r * (1 - r)
+///   dz  = gm * (h - n);        dp0  = dq0 = dz * z * (1 - z)
+/// Certified by gradcheck in tests/nn_gru_test.cc and tests/gemm_test.cc.
+ag::Variable GruCell(const ag::Variable& p, const ag::Variable& q,
+                     const ag::Variable& h, const Tensor* mask) {
+  const Tensor& pv = p.value();
+  const Tensor& qv = q.value();
+  const Tensor& hv = h.value();
+  const int64_t b = hv.size(0), hd = hv.size(1);
+  DAR_CHECK_EQ(pv.size(0), b);
+  DAR_CHECK_EQ(pv.size(1), 3 * hd);
+  DAR_CHECK_EQ(qv.size(0), b);
+  DAR_CHECK_EQ(qv.size(1), 3 * hd);
+  if (mask != nullptr) DAR_CHECK_EQ(mask->size(0), b);
+
+  // Gate activations are retained for the backward closure (and drop with
+  // the node when no input requires grad — inference stays light).
+  Tensor z(Shape{b, hd}), r(Shape{b, hd}), n(Shape{b, hd});
+  Tensor out = Tensor::Scratch(Shape{b, hd});
+  const float* pp = pv.data();
+  const float* pq = qv.data();
+  const float* ph = hv.data();
+  const float* pm = mask != nullptr ? mask->data() : nullptr;
+  float* pz = z.data();
+  float* pr = r.data();
+  float* pn = n.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* prow = pp + i * 3 * hd;
+    const float* qrow = pq + i * 3 * hd;
+    const float* hrow = ph + i * hd;
+    const float mi = pm != nullptr ? pm[i] : 1.0f;
+    const float inv_mi = 1.0f - mi;
+    float* zrow = pz + i * hd;
+    float* rrow = pr + i * hd;
+    float* nrow = pn + i * hd;
+    float* orow = po + i * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      const float zv = fastmath::FastSigmoid(prow[j] + qrow[j]);
+      const float rv = fastmath::FastSigmoid(prow[hd + j] + qrow[hd + j]);
+      const float nv =
+          fastmath::FastTanh(prow[2 * hd + j] + rv * qrow[2 * hd + j]);
+      const float hprime = (1.0f - zv) * nv + zv * hrow[j];
+      zrow[j] = zv;
+      rrow[j] = rv;
+      nrow[j] = nv;
+      orow[j] = pm != nullptr ? mi * hprime + inv_mi * hrow[j] : hprime;
+    }
+  }
+
+  auto np = p.node();
+  auto nq = q.node();
+  auto nh = h.node();
+  Tensor mask_copy = mask != nullptr ? *mask : Tensor();
+  const bool masked = mask != nullptr;
+  auto backward = [np, nq, nh, z = std::move(z), r = std::move(r),
+                   n = std::move(n), mask_copy = std::move(mask_copy), masked,
+                   b, hd](ag::Node& node) {
+    Tensor dp(Shape{b, 3 * hd}), dq(Shape{b, 3 * hd}), dh(Shape{b, hd});
+    const float* pg = node.grad.data();
+    const float* pz = z.data();
+    const float* pr = r.data();
+    const float* pn = n.data();
+    const float* pq2 = nq->value.data();
+    const float* ph = nh->value.data();
+    const float* pm = masked ? mask_copy.data() : nullptr;
+    float* pdp = dp.data();
+    float* pdq = dq.data();
+    float* pdh = dh.data();
+    for (int64_t i = 0; i < b; ++i) {
+      const float* grow = pg + i * hd;
+      const float* zrow = pz + i * hd;
+      const float* rrow = pr + i * hd;
+      const float* nrow = pn + i * hd;
+      const float* q2row = pq2 + i * 3 * hd + 2 * hd;
+      const float* hrow = ph + i * hd;
+      const float mi = pm != nullptr ? pm[i] : 1.0f;
+      float* dprow = pdp + i * 3 * hd;
+      float* dqrow = pdq + i * 3 * hd;
+      float* dhrow = pdh + i * hd;
+      for (int64_t j = 0; j < hd; ++j) {
+        const float g = grow[j];
+        const float gm = g * mi;
+        const float zv = zrow[j], rv = rrow[j], nv = nrow[j];
+        const float dt = gm * (1.0f - zv) * (1.0f - nv * nv);
+        const float ds_r = dt * q2row[j] * rv * (1.0f - rv);
+        const float ds_z = gm * (hrow[j] - nv) * zv * (1.0f - zv);
+        dprow[j] = ds_z;
+        dprow[hd + j] = ds_r;
+        dprow[2 * hd + j] = dt;
+        dqrow[j] = ds_z;
+        dqrow[hd + j] = ds_r;
+        dqrow[2 * hd + j] = dt * rv;
+        dhrow[j] = gm * zv + g * (1.0f - mi);
+      }
+    }
+    if (np->requires_grad) np->AccumulateGrad(dp);
+    if (nq->requires_grad) nq->AccumulateGrad(dq);
+    if (nh->requires_grad) nh->AccumulateGrad(dh);
+  };
+  return ag::MakeOpResult("gru_cell", std::move(out), {np, nq, nh},
+                          std::move(backward));
 }
 
 }  // namespace
@@ -36,18 +166,10 @@ Gru::Gru(int64_t input_dim, int64_t hidden_dim, Pcg32& rng, bool reverse)
 }
 
 ag::Variable Gru::Step(const ag::Variable& x_proj, const ag::Variable& h) const {
-  int64_t hd = hidden_dim_;
+  // Hidden projection through the packed GEMM kernel, gates through the
+  // fused cell — the whole recurrent step is two op nodes.
   ag::Variable h_proj = ag::MatMul(h, w_h_);
-  ag::Variable z = ag::Sigmoid(
-      ag::Add(ag::SliceCols(x_proj, 0, hd), ag::SliceCols(h_proj, 0, hd)));
-  ag::Variable r = ag::Sigmoid(
-      ag::Add(ag::SliceCols(x_proj, hd, hd), ag::SliceCols(h_proj, hd, hd)));
-  ag::Variable n = ag::Tanh(
-      ag::Add(ag::SliceCols(x_proj, 2 * hd, hd),
-              ag::Mul(r, ag::SliceCols(h_proj, 2 * hd, hd))));
-  // h' = (1 - z) * n + z * h
-  ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
-  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+  return GruCell(x_proj, h_proj, h, /*mask=*/nullptr);
 }
 
 ag::Variable Gru::Forward(const ag::Variable& x, const Tensor* valid) const {
@@ -62,7 +184,8 @@ ag::Variable Gru::Forward(const ag::Variable& x, const Tensor* valid) const {
     DAR_CHECK_EQ(valid->size(1), t_len);
   }
 
-  // Project all timesteps at once: [B*T, E] x [E, 3H].
+  // Project all timesteps at once: [B*T, E] x [E, 3H] — one large GEMM
+  // instead of T small ones; the packed kernel's best case.
   ag::Variable x_flat = ag::Reshape(x, Shape{b * t_len, input_dim_});
   ag::Variable proj_flat = ag::AddBias(ag::MatMul(x_flat, w_x_), b_);
   ag::Variable proj = ag::Reshape(proj_flat, Shape{b, t_len, 3 * hidden_dim_});
@@ -71,16 +194,14 @@ ag::Variable Gru::Forward(const ag::Variable& x, const Tensor* valid) const {
   std::vector<ag::Variable> outputs(static_cast<size_t>(t_len));
   for (int64_t step = 0; step < t_len; ++step) {
     int64_t t = reverse_ ? t_len - 1 - step : step;
-    ag::Variable h_new = Step(ag::SliceTimeOp(proj, t), h);
+    // The padding freeze (h = m * h' + (1 - m) * h) is folded into the
+    // fused cell rather than composed from ScaleRows/Add ops.
+    ag::Variable h_proj = ag::MatMul(h, w_h_);
     if (valid != nullptr) {
-      // h = m * h_new + (1 - m) * h : frozen past sequence end.
       Tensor m = MaskColumn(*valid, t);
-      ag::Variable mv = ag::Variable::Constant(m);
-      ag::Variable inv = ag::Variable::Constant(
-          Map(m, [](float v) { return 1.0f - v; }));
-      h = ag::Add(ag::ScaleRows(h_new, mv), ag::ScaleRows(h, inv));
+      h = GruCell(ag::SliceTimeOp(proj, t), h_proj, h, &m);
     } else {
-      h = h_new;
+      h = GruCell(ag::SliceTimeOp(proj, t), h_proj, h, nullptr);
     }
     outputs[static_cast<size_t>(t)] = h;
   }

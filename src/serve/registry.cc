@@ -7,6 +7,16 @@
 namespace dar {
 namespace serve {
 
+ModelRegistry::~ModelRegistry() {
+  sync::MutexLock lock(mu_);
+  for (auto& [name, session] : sessions_) {
+    auto it = stats_bound_.find(name);
+    if (it != stats_bound_.end() && it->second) {
+      session->BindStats(nullptr, std::string());
+    }
+  }
+}
+
 void ModelRegistry::PublishMetrics(obs::MetricsRegistry* metrics) {
   sync::MutexLock lock(mu_);
   metrics_ = metrics;
@@ -30,6 +40,7 @@ void ModelRegistry::Register(const std::string& name,
     // now, and block the old session's in-flight inserts.
     it->second->InvalidateCacheEntries();
   }
+  stats_bound_[name] = metrics_ != nullptr;
   sessions_[name] = std::move(session);
 }
 
@@ -38,6 +49,7 @@ bool ModelRegistry::Unregister(const std::string& name) {
   auto it = sessions_.find(name);
   if (it == sessions_.end()) return false;
   it->second->InvalidateCacheEntries();
+  stats_bound_.erase(name);
   sessions_.erase(it);
   return true;
 }

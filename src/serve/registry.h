@@ -21,6 +21,21 @@ namespace serve {
 /// in flight keeps its model alive even if it is concurrently replaced.
 class ModelRegistry {
  public:
+  ModelRegistry() = default;
+
+  /// Restores every still-registered session's ServingStats to a private
+  /// registry. Register rebinds session stats into the shared metrics
+  /// registry (PublishMetrics), which the registry does not own and which
+  /// routinely dies with the router that injected it — without this
+  /// restore, a session outliving the registry is left holding instrument
+  /// pointers into freed memory, and its next stats call is a
+  /// use-after-free. Recorded counts are dropped (the BindStats contract);
+  /// must not run while registered sessions are serving traffic.
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
   /// Sets the metrics registry new registrations publish into (not owned;
   /// must outlive the registry; pass nullptr to stop). Every subsequent
   /// Register(name, session) rebinds the session's ServingStats onto this
@@ -72,6 +87,10 @@ class ModelRegistry {
   mutable sync::Mutex mu_{sync::Rank::kRegistry, "serve.registry"};
   std::map<std::string, std::shared_ptr<InferenceSession>> sessions_
       DAR_GUARDED_BY(mu_);
+  /// Names whose session stats were rebound onto metrics_ at Register
+  /// time — exactly the bindings the destructor must undo (PublishMetrics
+  /// can toggle mid-stream, so "metrics_ is set now" is not the answer).
+  std::map<std::string, bool> stats_bound_ DAR_GUARDED_BY(mu_);
   obs::MetricsRegistry* metrics_ DAR_GUARDED_BY(mu_) = nullptr;
   ServeCache* cache_ DAR_GUARDED_BY(mu_) = nullptr;
 };

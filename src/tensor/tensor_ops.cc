@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
 
 #include "obs/trace.h"
 #include "tensor/check.h"
+#include "tensor/fastmath.h"
+#include "tensor/gemm.h"
 
 namespace dar {
 
@@ -103,42 +104,13 @@ Tensor Log(const Tensor& a, float eps) {
   return Unary(a, [eps](float x) { return std::log(std::max(x, eps)); });
 }
 
-namespace {
-
-// Branch-free single-precision e^x (Cephes-style range reduction plus a
-// degree-5 polynomial), |relative error| < 2e-7 across the clamped range.
-// Plain arithmetic end to end, so the elementwise sigmoid/tanh loops below
-// auto-vectorize instead of calling scalar libm — those two kernels run
-// hundreds of thousands of libm calls per batched forward otherwise.
-inline float FastExp(float x) {
-  x = std::min(88.0f, std::max(-87.0f, x));
-  float z = std::floor(x * 1.44269504089f + 0.5f);  // round(x / ln 2)
-  x -= z * 0.693359375f;                            // ln 2, high part
-  x -= z * -2.12194440e-4f;                         // ln 2, low part
-  float y = 1.9875691500e-4f;
-  y = y * x + 1.3981999507e-3f;
-  y = y * x + 8.3334519073e-3f;
-  y = y * x + 4.1665795894e-2f;
-  y = y * x + 1.6666665459e-1f;
-  y = y * x + 5.0000001201e-1f;
-  y = y * x * x + x + 1.0f;
-  // 2^z via exponent bits; z is integral and within [-126, 127] after the
-  // clamp, so the bit pattern is a valid normal float.
-  uint32_t bits = static_cast<uint32_t>(static_cast<int32_t>(z) + 127) << 23;
-  float pow2;
-  std::memcpy(&pow2, &bits, sizeof(pow2));
-  return y * pow2;
-}
-
-}  // namespace
-
 Tensor Tanh(const Tensor& a) {
   Tensor out = Tensor::Scratch(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) {
-    po[i] = 2.0f / (1.0f + FastExp(-2.0f * pa[i])) - 1.0f;
+    po[i] = fastmath::FastTanh(pa[i]);
   }
   return out;
 }
@@ -149,7 +121,7 @@ Tensor Sigmoid(const Tensor& a) {
   float* po = out.data();
   int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) {
-    po[i] = 1.0f / (1.0f + FastExp(-pa[i]));
+    po[i] = fastmath::FastSigmoid(pa[i]);
   }
   return out;
 }
@@ -166,78 +138,57 @@ Tensor Abs(const Tensor& a) {
   return Unary(a, [](float x) { return std::fabs(x); });
 }
 
+namespace {
+
+// All three transpose variants funnel here: shared packed kernel
+// (tensor/gemm.h), one FLOP accounting point, one span-gating rule.
+//
+// Span gating: a DAR forward issues 400k+ sub-microsecond matmuls per
+// bench run; minting a kDetailed span for each one both distorts
+// span.matmul.us (the tiny ops drown the real encoder GEMMs) and costs
+// two clock reads per op under kDetailed. Only ops of >= 1 MFLOP emit the
+// detailed span; the matmul_flops_total counter keeps every op visible on
+// /metrics regardless of size.
+Tensor MatMulDispatch(gemm::Trans trans, int64_t m, int64_t n, int64_t k,
+                      const float* a, const float* b) {
+  static obs::Counter* flops_total =
+      &obs::MetricsRegistry::Global().GetCounter("matmul_flops_total");
+  const int64_t flops = 2 * m * n * k;
+  flops_total->Increment(flops);
+  Tensor c(Shape{m, n});  // zero-initialized: Gemm accumulates into it
+  if (flops >= gemm::kSpanFlopThreshold) {
+    obs::Span span("matmul", obs::TraceLevel::kDetailed);
+    gemm::Gemm(trans, m, n, k, a, b, c.data());
+  } else {
+    gemm::Gemm(trans, m, n, k, a, b, c.data());
+  }
+  return c;
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   DAR_CHECK_EQ(b.size(0), k);
-  Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j ordering: the inner j loop streams both B's row and C's row,
-  // which auto-vectorizes well and is cache-friendly for row-major data.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  return MatMulDispatch(gemm::Trans::kNN, m, n, k, a.data(), b.data());
 }
 
 Tensor MatMulTA(const Tensor& a, const Tensor& b) {
-  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   DAR_CHECK_EQ(b.size(0), k);
-  Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C[i, j] = sum_kk A[kk, i] * B[kk, j]; iterate kk outermost so both A and
-  // B rows stream contiguously.
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  return MatMulDispatch(gemm::Trans::kTA, m, n, k, a.data(), b.data());
 }
 
 Tensor MatMulTB(const Tensor& a, const Tensor& b) {
-  obs::Span span("matmul", obs::TraceLevel::kDetailed);
   DAR_CHECK_EQ(a.dim(), 2);
   DAR_CHECK_EQ(b.dim(), 2);
   int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   DAR_CHECK_EQ(b.size(1), k);
-  Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C[i, j] = dot(A row i, B row j): both rows contiguous.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
-  return c;
+  return MatMulDispatch(gemm::Trans::kTB, m, n, k, a.data(), b.data());
 }
 
 Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {

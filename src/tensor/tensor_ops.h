@@ -50,8 +50,16 @@ Tensor Sqrt(const Tensor& a);
 Tensor Abs(const Tensor& a);
 
 // ---- Matrix multiplication ---------------------------------------------------
+//
+// All three variants are thin wrappers over the blocked, packed,
+// deterministically-threaded kernel layer in tensor/gemm.h: large shapes
+// take the cache-tiled FMA micro-kernel (optionally fanned out over the
+// kernel thread pool, bit-identical for any worker count), tiny shapes a
+// low-overhead loop — every path computes the identical per-element fma
+// chain. Ops >= 1 MFLOP emit the kDetailed "matmul" span; every op adds
+// its 2*m*n*k to the matmul_flops_total counter.
 
-/// C = A * B for 2-D A [m, k] and B [k, n]. Cache-blocked i-k-j loop.
+/// C = A * B for 2-D A [m, k] and B [k, n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// C = A^T * B for A [k, m], B [k, n] -> [m, n]. (Backward helper.)

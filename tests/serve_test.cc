@@ -445,6 +445,44 @@ TEST(ModelRegistryTest, PublishMetricsLabelsSeriesPerModel) {
       << exposition;
 }
 
+TEST(ModelRegistryTest, DestructionRestoresSessionStatsBinding) {
+  std::shared_ptr<InferenceSession> session = MakeSession(3);
+  {
+    obs::MetricsRegistry metrics;
+    ModelRegistry registry;
+    registry.PublishMetrics(&metrics);
+    registry.Register("beer", session);
+    ASSERT_TRUE(registry.Predict("beer", "pours a hazy amber").has_value());
+    // The session's stats now publish into `metrics`, which dies with this
+    // scope. The registry's destructor must rebind them to a private
+    // registry — before it did, the lines below wrote freed memory
+    // (caught by ASan; see bench/serve_throughput.cc's router arms, which
+    // hit exactly this sequence).
+  }
+  session->stats().Reset();
+  ASSERT_FALSE(
+      session->Predict("still serving after the registry died").mask.empty());
+  EXPECT_EQ(session->stats().Snapshot().requests, 1);
+}
+
+TEST(ModelRegistryTest, HotSwapAndUnregisterKeepPrivateStatsPrivate) {
+  // Sessions never rebound (no PublishMetrics) must keep their private
+  // stats across hot swap, unregister, and registry destruction — the
+  // destructor only undoes bindings it made, so recorded counts survive.
+  std::shared_ptr<InferenceSession> first = MakeSession(3);
+  std::shared_ptr<InferenceSession> second = MakeSession(7);
+  {
+    ModelRegistry registry;
+    registry.Register("beer", first);
+    ASSERT_TRUE(registry.Predict("beer", "pours a hazy amber").has_value());
+    registry.Register("beer", second);  // hot swap
+    ASSERT_TRUE(registry.Predict("beer", "thin head but clear").has_value());
+    EXPECT_TRUE(registry.Unregister("beer"));
+  }
+  EXPECT_EQ(first->stats().Snapshot().requests, 1);
+  EXPECT_EQ(second->stats().Snapshot().requests, 1);
+}
+
 TEST(ThreadPoolTest, RunsAllTasks) {
   std::atomic<int> counter{0};
   {
